@@ -1,0 +1,76 @@
+package vigil_test
+
+// One benchmark per table and figure of the paper, per DESIGN.md's
+// experiment index. Each iteration regenerates the experiment at Quick
+// scale (the Full-scale numbers come from `vigil-lab -run all`); the
+// benchmark names give `go test -bench` a one-command tour of the whole
+// evaluation.
+
+import (
+	"testing"
+
+	"vigil"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := vigil.RunExperiment(id, vigil.ExperimentOptions{
+			Scale: vigil.QuickScale,
+			Seeds: 1,
+			Seed:  uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkNetSize(b *testing.B)      { benchExperiment(b, "netsize") }
+func BenchmarkCluster2(b *testing.B)     { benchExperiment(b, "cluster2") }
+func BenchmarkCluster3(b *testing.B)     { benchExperiment(b, "cluster3") }
+func BenchmarkProdEverflow(b *testing.B) { benchExperiment(b, "prod-everflow") }
+func BenchmarkProdReboots(b *testing.B)  { benchExperiment(b, "prod-reboots") }
+func BenchmarkTheorem1(b *testing.B)     { benchExperiment(b, "theorem1") }
+func BenchmarkTheorem2(b *testing.B)     { benchExperiment(b, "theorem2") }
+
+func BenchmarkAblAdjust(b *testing.B)    { benchExperiment(b, "abl-adjust") }
+func BenchmarkAblThreshold(b *testing.B) { benchExperiment(b, "abl-threshold") }
+func BenchmarkAblVoteValue(b *testing.B) { benchExperiment(b, "abl-votevalue") }
+func BenchmarkAblRateLimit(b *testing.B) { benchExperiment(b, "abl-ratelimit") }
+
+// BenchmarkEpochPaperScale measures one full 007 cycle — simulate, vote,
+// detect, classify — at the paper's 4160-link scale.
+func BenchmarkEpochPaperScale(b *testing.B) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := sim.Topology().LinksOfClass(vigil.L1Up)[3]
+	sim.InjectFailure(bad, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sim.RunEpoch()
+		if rep.TotalFlows == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+func BenchmarkExtLatency(b *testing.B) { benchExperiment(b, "ext-latency") }

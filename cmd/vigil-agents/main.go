@@ -1,0 +1,104 @@
+// vigil-agents runs the deployment shape of the paper's Figure 2 on one
+// machine: emulated hosts run 007 agents over the packet fabric and ship
+// their vote reports to a centralized analysis collector over real
+// loopback TCP; the collector tallies each epoch and prints the verdicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"vigil"
+	"vigil/internal/cluster"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+func main() {
+	epochs := flag.Int("epochs", 3, "epochs to run")
+	failures := flag.Int("failures", 2, "failed links to inject")
+	rate := flag.Float64("rate", 0.03, "failed-link drop rate")
+	conns := flag.Int("conns", 5, "connections per host per epoch")
+	seed := flag.Uint64("seed", 1, "random seed")
+	listen := flag.String("listen", "127.0.0.1:0", "collector listen address")
+	flag.Parse()
+
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{
+		Topo: must(vigil.NewTopology(vigil.TestClusterTopology)), Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	topo := em.Topo
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	srv := cluster.ServeCollector(em.Agent, ln)
+	defer srv.Close()
+	fmt.Printf("analysis collector listening on %s\n", srv.Addr())
+
+	rep, err := cluster.DialReporter(srv.Addr())
+	if err != nil {
+		fail(err)
+	}
+	defer rep.Close()
+	em.Reporter = func(r vote.Report) {
+		if err := rep.Report(r); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+		}
+	}
+
+	rng := stats.NewRNG(*seed + 3)
+	var bad []vigil.LinkID
+	pool := topo.LinksOfClass(topology.L1Down)
+	for i := 0; i < *failures; i++ {
+		l := pool[rng.Intn(len(pool))]
+		em.InjectFailure(l, *rate)
+		bad = append(bad, l)
+		fmt.Printf("injected %.1f%% loss on %s\n", *rate*100, topo.LinkName(l))
+	}
+
+	for e := 0; e < *epochs; e++ {
+		em.StartWorkload(vigil.Workload{
+			Pattern:        vigil.UniformTraffic(),
+			ConnsPerHost:   vigil.IntRange{Lo: *conns, Hi: *conns},
+			PacketsPerFlow: vigil.IntRange{Lo: 50, Hi: 100},
+		}, 20*vigil.Second)
+		res := em.RunEpoch()
+		fmt.Printf("\nepoch %d: %d reports over TCP (%d total received)\n",
+			e, res.Tally.Flows(), srv.Received)
+		for i, lv := range res.Ranking {
+			if i >= 5 {
+				break
+			}
+			marker := ""
+			for _, b := range bad {
+				if b == lv.Link {
+					marker = "  <-- injected"
+				}
+			}
+			fmt.Printf("  %6.2f  %s%s\n", lv.Votes, topo.LinkName(lv.Link), marker)
+		}
+		fmt.Printf("  detected: %d link(s)\n", len(res.Detected))
+		for _, l := range res.Detected {
+			fmt.Printf("    %s\n", topo.LinkName(l))
+		}
+	}
+}
+
+func must(t *vigil.Topology, err error) *vigil.Topology {
+	if err != nil {
+		fail(err)
+	}
+	return t
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vigil-agents:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// vigil-lab regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vigil-lab -run all            # every experiment, full scale
+//	vigil-lab -run fig3,fig10     # a subset
+//	vigil-lab -run fig13 -quick   # reduced scale (benchmark size)
+//	vigil-lab -run all -csv out/  # also write CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vigil"
+)
+
+func main() {
+	runIDs := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale (smaller topology, fewer seeds)")
+	seeds := flag.Int("seeds", 0, "repetitions per data point (0 = scale default)")
+	seed := flag.Uint64("seed", 7, "base random seed")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range vigil.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := vigil.ExperimentOptions{Scale: vigil.FullScale, Seeds: *seeds, Seed: *seed}
+	if *quick {
+		opts.Scale = vigil.QuickScale
+	}
+
+	var ids []string
+	if *runIDs == "all" {
+		for _, e := range vigil.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		res, err := vigil.RunExperiment(id, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Printf("== %s — %s ==\n\n", res.ID, res.Title)
+		for i, tab := range res.Tables {
+			if err := tab.RenderASCII(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if *csvDir != "" {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", res.ID, i))
+				f, err := os.Create(name)
+				if err != nil {
+					fatal(err)
+				}
+				if err := tab.WriteCSV(f); err != nil {
+					fatal(err)
+				}
+				f.Close()
+			}
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vigil-lab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// vigil-theory prints the paper's analytical bounds (Theorems 1 and 2) for
+// a given Clos topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vigil"
+	"vigil/internal/theory"
+)
+
+func main() {
+	pods := flag.Int("pods", vigil.DefaultSimTopology.Pods, "pods")
+	tors := flag.Int("tors", vigil.DefaultSimTopology.ToRsPerPod, "ToRs per pod (n0)")
+	t1 := flag.Int("t1", vigil.DefaultSimTopology.T1PerPod, "tier-1 per pod (n1)")
+	t2 := flag.Int("t2", vigil.DefaultSimTopology.T2, "tier-2 switches (n2)")
+	hosts := flag.Int("hosts", vigil.DefaultSimTopology.HostsPerToR, "hosts per ToR (H)")
+	tmax := flag.Float64("tmax", 100, "switch ICMP cap (messages/second)")
+	pb := flag.Float64("pb", 0.0005, "bad-link drop rate for the noise bound")
+	cl := flag.Int("cl", 10, "lower bound on packets per connection")
+	cu := flag.Int("cu", 100, "upper bound on packets per connection")
+	flag.Parse()
+
+	cfg := vigil.TopologyConfig{
+		Pods: *pods, ToRsPerPod: *tors, T1PerPod: *t1, T2: *t2, HostsPerToR: *hosts,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-theory:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology: npod=%d n0=%d n1=%d n2=%d H=%d (%d directed links, %d hosts)\n\n",
+		cfg.Pods, cfg.ToRsPerPod, cfg.T1PerPod, cfg.T2, cfg.HostsPerToR,
+		cfg.DirectedLinks(), cfg.Hosts())
+
+	fmt.Printf("Theorem 1: Ct <= %.4f traceroutes/second/host (Tmax=%.0f)\n\n",
+		theory.CtBound(cfg, *tmax), *tmax)
+
+	fmt.Printf("Theorem 2: detectable failures k < %.2f\n", theory.MaxBadLinks(cfg))
+	fmt.Printf("%4s  %10s  %14s  %s\n", "k", "alpha", "max noise pg", "conditions")
+	for _, k := range []int{1, 2, 5, 10, 14} {
+		ok, viol := theory.Conditions(cfg, k)
+		status := "hold"
+		if !ok {
+			status = fmt.Sprintf("violated: %v", viol)
+		}
+		fmt.Printf("%4d  %10.4f  %14.3e  %s\n",
+			k, theory.Alpha(cfg, k), theory.PgBound(cfg, k, *pb, *cl, *cu), status)
+	}
+}

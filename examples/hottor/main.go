@@ -1,0 +1,91 @@
+// Hottor explores the paper's skewed-traffic results (Fig. 8, Fig. 9): a
+// single ToR acts as a sink for a growing share of all flows while several
+// links fail at once, and 007 is compared against the set-cover
+// optimization it outperforms in exactly this regime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vigil"
+	"vigil/internal/metrics"
+	"vigil/internal/netem"
+	"vigil/internal/opt"
+	"vigil/internal/stats"
+)
+
+func main() {
+	fmt.Println("hot-ToR skew vs localization (5 failed links, U(0.05%,1%) rates)")
+	fmt.Printf("%8s  %16s  %16s\n", "skew", "007 accuracy", "set-cover recall")
+	for _, skew := range []float64{0.1, 0.3, 0.5, 0.7} {
+		acc, rec := run(skew)
+		fmt.Printf("%7.0f%%  %16.3f  %16.3f\n", skew*100, acc, rec)
+	}
+	fmt.Println("\nThe paper's Fig. 9: up to 50% skew costs 007 almost nothing;")
+	fmt.Println("the optimization's constraints collapse much earlier (Fig. 8b).")
+}
+
+func run(skew float64) (acc007, recallBinary float64) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{
+		Seed: uint64(1000 * skew),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := sim.Topology()
+	// Rebuild the workload with the hot sink.
+	sim2, err := vigil.NewSimulation(vigil.SimConfig{
+		Workload: vigil.Workload{
+			Pattern:        vigil.HotToRTraffic(topo.ToR(0, 0), skew),
+			ConnsPerHost:   vigil.IntRange{Lo: 60, Hi: 60},
+			PacketsPerFlow: vigil.IntRange{Lo: 100, Hi: 100},
+		},
+		Seed: uint64(1000*skew) + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo = sim2.Topology()
+	rng := stats.NewRNG(uint64(7 + 100*skew))
+	pool := topo.LinksOfClass(vigil.L1Up)
+	var bad []vigil.LinkID
+	for i := 0; i < 5; i++ {
+		l := pool[rng.Intn(len(pool))]
+		sim2.InjectFailure(l, rng.Uniform(0.0005, 0.01))
+		bad = append(bad, l)
+	}
+	rep := sim2.RunEpoch()
+
+	// Baseline: greedy set cover (MAX COVERAGE / Tomo) over the same
+	// reports, reconstructed from the verdict-carrying epoch.
+	// For the comparison we re-run the raw pipeline on a fresh epoch with
+	// identical parameters (the public API keeps reports internal).
+	reports := rawReports(topo, bad, skew)
+	in := opt.BuildInstance(reports)
+	d := metrics.ScoreDetection(in.SolveBinaryGreedy(), bad)
+	return rep.Accuracy, d.Recall
+}
+
+// rawReports produces one epoch of reports with the internal simulator for
+// the baseline comparison.
+func rawReports(topo *vigil.Topology, bad []vigil.LinkID, skew float64) []vigil.Report {
+	sim, err := netem.New(netem.Config{
+		Topo: topo,
+		Workload: vigil.Workload{
+			Pattern:        vigil.HotToRTraffic(topo.ToR(0, 0), skew),
+			ConnsPerHost:   vigil.IntRange{Lo: 60, Hi: 60},
+			PacketsPerFlow: vigil.IntRange{Lo: 100, Hi: 100},
+		},
+		NoiseLo: 0, NoiseHi: 1e-6,
+		Seed: uint64(2000*skew) + 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	for _, l := range bad {
+		sim.InjectFailure(l, rng.Uniform(0.0005, 0.01))
+	}
+	return sim.RunEpoch().Reports
+}

@@ -1,0 +1,90 @@
+// Storagefleet reproduces the paper's motivating scenario (§1, Appendix A):
+// VM images are mounted from a VIP-fronted storage service, so even a
+// briefly lossy link makes VMs "panic" and reboot — and 17% of reboots
+// used to go unexplained. Here every storage connection that gives up is a
+// reboot event, and 007 names the link that caused each one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vigil"
+	"vigil/internal/stats"
+)
+
+func main() {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One storage service behind a VIP, four backends across two racks.
+	vip := vigil.ServiceVIP(1)
+	backends := []vigil.HostID{
+		topo.HostAt(0, 8, 0), topo.HostAt(0, 8, 1),
+		topo.HostAt(0, 9, 0), topo.HostAt(0, 9, 1),
+	}
+	if err := vigil.RegisterVIP(em, vip, backends); err != nil {
+		log.Fatal(err)
+	}
+
+	// The gremlin: a backend's ToR→host link drops most packets — the
+	// §8.3 finding that host-ToR links explain the majority of reboots.
+	bad := topo.Hosts[backends[0]].Downlink
+	em.InjectFailure(bad, 0.7)
+	fmt.Printf("storage service at VIP with %d backends\n", len(backends))
+	fmt.Printf("injected: 70%% loss on %s\n\n", vigil.LinkName(topo, bad))
+
+	// Every host keeps mounting VM images over the VIP.
+	rng := stats.NewRNG(9)
+	for i := 0; i < 120; i++ {
+		src := vigil.HostID(rng.Intn(len(topo.Hosts)))
+		at := vigil.Duration(rng.Intn(int(20 * vigil.Second)))
+		if err := em.StartVIPFlow(src, vip, 443, 80, at); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res := em.RunEpoch()
+
+	reboots := 0
+	explained := 0
+	byFlow := make(map[int64]vigil.Verdict)
+	for _, v := range res.Verdicts {
+		byFlow[v.FlowID] = v
+	}
+	fmt.Println("VM reboot events and 007's verdicts:")
+	for _, f := range em.Flows() {
+		c := f.Conn()
+		if c == nil || !c.Failed {
+			continue
+		}
+		reboots++
+		host := topo.Hosts[flowSrc(topo, f.WireTuple().SrcIP)].Name
+		if v, ok := byFlow[f.ID()]; ok && v.Link >= 0 {
+			explained++
+			fmt.Printf("  VM on %-18s rebooted — cause: %s\n",
+				host, vigil.LinkName(topo, v.Link))
+		} else {
+			fmt.Printf("  VM on %-18s rebooted — unexplained\n", host)
+		}
+	}
+	fmt.Printf("\n%d reboots, %d explained by 007 (the paper's tooling explained <30%%)\n",
+		reboots, explained)
+	if len(res.Ranking) > 0 {
+		fmt.Printf("top suspect overall: %s (%.1f votes)\n",
+			vigil.LinkName(topo, res.Ranking[0].Link), res.Ranking[0].Votes)
+	}
+}
+
+// flowSrc maps a source IP back to its host.
+func flowSrc(topo *vigil.Topology, ip uint32) vigil.HostID {
+	if n, ok := topo.LookupIP(ip); ok {
+		return vigil.HostID(n.ID)
+	}
+	return 0
+}

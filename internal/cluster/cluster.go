@@ -1,0 +1,315 @@
+// Package cluster is the multi-node emulation: every host runs the real
+// 007 agents (monitor → SLB query → traceroute → vote report) over the
+// packet-level fabric, and a central analysis agent tallies the epoch —
+// the same composition as the paper's test cluster (§7) and production
+// deployment (§8). Reports can be delivered in-process or over real
+// loopback TCP (see netreport.go), exercising the full wire path.
+package cluster
+
+import (
+	"fmt"
+
+	"vigil/internal/analysis"
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/fabric"
+	"vigil/internal/metrics"
+	"vigil/internal/slb"
+	"vigil/internal/stats"
+	"vigil/internal/theory"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	Topo *topology.Topology
+	Seed uint64
+	// Tmax is the switch ICMP cap (default 100/s); Ct the host traceroute
+	// budget (default: the Theorem 1 bound for this topology and Tmax).
+	Tmax float64
+	Ct   float64
+	// EpochLength is the tally interval (default 30 virtual seconds).
+	EpochLength des.Time
+	// ProbeTimeout bounds traceroute collection (default 20ms).
+	ProbeTimeout des.Time
+	// Window, RTO and MaxRetries parametrize the host stack.
+	Window     int
+	RTO        des.Time
+	MaxRetries int
+	// RTTThresholdMicros, when positive, also triggers path discovery for
+	// flows whose smoothed RTT crosses the threshold — the §9.2 latency
+	// diagnosis extension.
+	RTTThresholdMicros int64
+	// Detect configures the analysis agent.
+	Detect vote.DetectOptions
+}
+
+// Cluster is a running emulation.
+type Cluster struct {
+	cfg    Config
+	Topo   *topology.Topology
+	Sched  *des.Scheduler
+	Router *ecmp.Router
+	Net    *fabric.Net
+	SLB    *slb.SLB
+	Agent  *analysis.Agent
+	Hosts  []*Host
+
+	rng *stats.RNG
+	// Reporter delivers host reports to the collector; the default submits
+	// in-process. Replaced by the loopback-TCP reporter in net mode.
+	Reporter func(vote.Report)
+
+	failures map[topology.LinkID]float64
+	flowIDs  map[ecmp.FiveTuple]int64
+	flows    []*flowRecord
+	// dropsByFlow is ground truth harvested from fabric drop taps.
+	dropsByFlow map[ecmp.FiveTuple]map[topology.LinkID]int
+
+	epochStart des.Time
+}
+
+// flowRecord tracks one started connection for ground-truth scoring.
+type flowRecord struct {
+	id        int64
+	appTuple  ecmp.FiveTuple
+	wireTuple ecmp.FiveTuple
+	src, dst  topology.HostID
+	conn      *Conn
+}
+
+// New builds a cluster over the topology.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("cluster: Config.Topo is required")
+	}
+	if cfg.Tmax <= 0 {
+		cfg.Tmax = 100
+	}
+	if cfg.Ct <= 0 {
+		cfg.Ct = theory.CtBound(cfg.Topo.Cfg, cfg.Tmax)
+	}
+	if cfg.EpochLength <= 0 {
+		cfg.EpochLength = 30 * des.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 20 * des.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 6
+	}
+	if cfg.Detect.ThresholdFrac <= 0 {
+		cfg.Detect.ThresholdFrac = 0.01
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	sched := &des.Scheduler{}
+	router := ecmp.NewRouter(cfg.Topo, ecmp.NewSeeds(cfg.Topo, rng.Split()))
+	net, err := fabric.New(fabric.Config{
+		Topo: cfg.Topo, Router: router, Sched: sched, RNG: rng.Split(), Tmax: cfg.Tmax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg:         cfg,
+		Topo:        cfg.Topo,
+		Sched:       sched,
+		Router:      router,
+		Net:         net,
+		SLB:         slb.New(cfg.Topo, rng.Split()),
+		Agent:       analysis.NewAgent(analysis.Options{Detect: cfg.Detect}),
+		rng:         rng,
+		failures:    make(map[topology.LinkID]float64),
+		flowIDs:     make(map[ecmp.FiveTuple]int64),
+		dropsByFlow: make(map[ecmp.FiveTuple]map[topology.LinkID]int),
+	}
+	cl.Reporter = cl.Agent.Submit
+	net.AddTap(cl.groundTruthTap)
+	cl.Hosts = make([]*Host, len(cfg.Topo.Hosts))
+	for i := range cl.Hosts {
+		cl.Hosts[i] = newHost(cl, topology.HostID(i))
+	}
+	return cl, nil
+}
+
+// InjectFailure sets a directed link's drop rate.
+func (cl *Cluster) InjectFailure(l topology.LinkID, rate float64) {
+	cl.failures[l] = rate
+	cl.Net.SetDropRate(l, rate)
+}
+
+// ClearFailure removes an injected failure.
+func (cl *Cluster) ClearFailure(l topology.LinkID) {
+	delete(cl.failures, l)
+	cl.Net.SetDropRate(l, 0)
+}
+
+// FailedLinks returns the injected failure set.
+func (cl *Cluster) FailedLinks() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(cl.failures))
+	for l := range cl.failures {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (cl *Cluster) report(r vote.Report) {
+	if cl.Reporter != nil {
+		cl.Reporter(r)
+	}
+}
+
+func (cl *Cluster) flowID(flow ecmp.FiveTuple) int64 {
+	if id, ok := cl.flowIDs[flow]; ok {
+		return id
+	}
+	return -1
+}
+
+// groundTruthTap harvests per-flow per-link drops of data packets (probes
+// carry a non-zero IP ID and are excluded).
+func (cl *Cluster) groundTruthTap(ev fabric.TapEvent) {
+	if !ev.Dropped || ev.IP.Protocol != ecmp.ProtoTCP || ev.IP.ID != 0 {
+		return
+	}
+	tuple := ecmp.FiveTuple{
+		SrcIP: ev.IP.Src, DstIP: ev.IP.Dst,
+		SrcPort: ev.SrcPort, DstPort: ev.DstPort, Proto: ecmp.ProtoTCP,
+	}
+	m := cl.dropsByFlow[tuple]
+	if m == nil {
+		m = make(map[topology.LinkID]int)
+		cl.dropsByFlow[tuple] = m
+	}
+	m[ev.Egress]++
+}
+
+// StartFlow opens a direct (DIP-addressed) connection at time at.
+func (cl *Cluster) StartFlow(f traffic.Flow, at des.Time) {
+	cl.startConn(f.Src, f.Dst, f.Tuple, f.Tuple, f.Packets, at)
+}
+
+// StartVIPFlow opens a connection to a VIP service: the SLB assigns a DIP
+// (and the flow's packets carry it) while TCP — and therefore 007's
+// monitoring — sees the VIP.
+func (cl *Cluster) StartVIPFlow(src topology.HostID, vip uint32, vipPort uint16, packets int, at des.Time) error {
+	srcPort := uint16(cl.rng.IntRange(32768, 65535))
+	dip, err := cl.SLB.Connect(src, srcPort, vip, vipPort)
+	if err != nil {
+		return err
+	}
+	appTuple := ecmp.FiveTuple{
+		SrcIP: cl.Topo.Hosts[src].IP, DstIP: vip,
+		SrcPort: srcPort, DstPort: vipPort, Proto: ecmp.ProtoTCP,
+	}
+	wireTuple := appTuple
+	wireTuple.DstIP = cl.Topo.Hosts[dip].IP
+	cl.startConn(src, dip, wireTuple, appTuple, packets, at)
+	return nil
+}
+
+func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.FiveTuple, packets int, at des.Time) {
+	rec := &flowRecord{
+		id:        int64(len(cl.flows)),
+		appTuple:  appTuple,
+		wireTuple: wireTuple,
+		src:       src,
+		dst:       dst,
+	}
+	cl.flows = append(cl.flows, rec)
+	cl.flowIDs[appTuple] = rec.id
+	cl.Sched.At(at, func() {
+		rec.conn = cl.Hosts[src].openConn(wireTuple, appTuple, packets, nil)
+	})
+}
+
+// StartWorkload schedules a whole epoch's traffic, spread uniformly over
+// the first spread microseconds.
+func (cl *Cluster) StartWorkload(w traffic.Workload, spread des.Time) {
+	flows := w.Generate(cl.rng.Split(), cl.Topo)
+	for _, f := range flows {
+		cl.StartFlow(f, cl.epochStart+des.Time(cl.rng.Intn(int(spread))))
+	}
+}
+
+// RunEpoch drives the emulation to the end of the current epoch (plus a
+// small grace period for in-flight traceroutes), rolls the host agents'
+// epochs and closes the analysis epoch.
+func (cl *Cluster) RunEpoch() *analysis.Result {
+	end := cl.epochStart + cl.cfg.EpochLength
+	cl.Sched.RunUntil(end + 2*des.Second)
+	cl.epochStart = cl.Sched.Now()
+	for _, h := range cl.Hosts {
+		h.Mon.NewEpoch()
+		h.Path.NewEpoch()
+	}
+	return cl.Agent.CloseEpoch()
+}
+
+// Truth builds the ground-truth map for scoring, from the fabric's drop
+// taps and the injected failure set. Only forward-direction data-packet
+// drops count, matching the paper's attribution semantics.
+func (cl *Cluster) Truth() map[int64]metrics.FlowTruth {
+	out := make(map[int64]metrics.FlowTruth)
+	for _, rec := range cl.flows {
+		drops := cl.dropsByFlow[rec.wireTuple]
+		if len(drops) == 0 {
+			continue
+		}
+		best := topology.NoLink
+		bestN := 0
+		for l, n := range drops {
+			if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
+				best, bestN = l, n
+			}
+		}
+		tr := metrics.FlowTruth{Culprit: best}
+		if path, err := cl.Router.Path(rec.src, rec.dst, rec.wireTuple); err == nil {
+			for _, l := range path.Links {
+				if _, bad := cl.failures[l]; bad {
+					tr.CrossedFailure = true
+					break
+				}
+			}
+		}
+		out[rec.id] = tr
+	}
+	return out
+}
+
+// Flows returns records of all started flows.
+func (cl *Cluster) Flows() []*flowRecord { return cl.flows }
+
+// FailedConns counts connections that gave up (the "VM reboot" signal of
+// the paper's motivating scenario).
+func (cl *Cluster) FailedConns() int {
+	n := 0
+	for _, rec := range cl.flows {
+		if rec.conn != nil && rec.conn.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// ID returns a flow record's identifier.
+func (f *flowRecord) ID() int64 { return f.id }
+
+// AppTuple returns the tuple as TCP sees it (VIP for load-balanced flows).
+func (f *flowRecord) AppTuple() ecmp.FiveTuple { return f.appTuple }
+
+// WireTuple returns the on-the-wire tuple (always DIP-addressed).
+func (f *flowRecord) WireTuple() ecmp.FiveTuple { return f.wireTuple }
+
+// Conn returns the underlying connection once started (nil before).
+func (f *flowRecord) Conn() *Conn { return f.conn }

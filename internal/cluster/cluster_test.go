@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/everflow"
+	"vigil/internal/metrics"
+	"vigil/internal/slb"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+func testCluster(t testing.TB, seed uint64) *Cluster {
+	t.Helper()
+	topo, err := topology.New(topology.TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Topo: topo, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestLosslessTransferCompletes(t *testing.T) {
+	cl := testCluster(t, 1)
+	f := traffic.Flow{
+		Src: cl.Topo.HostAt(0, 0, 0), Dst: cl.Topo.HostAt(0, 5, 1),
+		Tuple: ecmp.FiveTuple{
+			SrcIP:   cl.Topo.Hosts[cl.Topo.HostAt(0, 0, 0)].IP,
+			DstIP:   cl.Topo.Hosts[cl.Topo.HostAt(0, 5, 1)].IP,
+			SrcPort: 40000, DstPort: 443, Proto: ecmp.ProtoTCP,
+		},
+		Packets: 200,
+	}
+	cl.StartFlow(f, 0)
+	res := cl.RunEpoch()
+	conn := cl.Flows()[0].Conn()
+	if conn == nil || !conn.Done || conn.Failed {
+		t.Fatalf("transfer did not complete: %+v", conn)
+	}
+	if conn.Retransmits != 0 {
+		t.Fatalf("%d retransmits on a clean fabric", conn.Retransmits)
+	}
+	if len(res.Ranking) != 0 {
+		t.Fatalf("votes cast on a clean fabric: %+v", res.Ranking)
+	}
+}
+
+// A lossy link must cause genuine retransmissions, traceroutes that follow
+// the data path exactly, and a tally in which the bad link leads.
+func TestLossyLinkLocalizedEndToEnd(t *testing.T) {
+	cl := testCluster(t, 2)
+	topo := cl.Topo
+	// The §7.3 scenario: induce drops on a T1→ToR link.
+	bad := topo.LinksOfClass(topology.L1Down)[7]
+	cl.InjectFailure(bad, 0.03)
+
+	rng := stats.NewRNG(3)
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 6, Hi: 6},
+		PacketsPerFlow: traffic.IntRange{Lo: 60, Hi: 60},
+	}
+	for _, f := range w.Generate(rng, topo) {
+		cl.StartFlow(f, des.Time(rng.Intn(int(10*des.Second))))
+	}
+	res := cl.RunEpoch()
+	if res.Tally.Flows() == 0 {
+		t.Fatal("no reports reached the analysis agent")
+	}
+	if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
+		t.Fatalf("top-ranked = %v (%s), want %s",
+			res.Ranking[0].Link, topo.LinkName(res.Ranking[0].Link), topo.LinkName(bad))
+	}
+	found := false
+	for _, l := range res.Detected {
+		if l == bad {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Algorithm 1 missed the bad link: %v", res.Detected)
+	}
+	// Per-flow verdicts score well against tap-harvested ground truth.
+	score := metrics.ScoreVerdicts(res.Verdicts, cl.Truth())
+	if score.Considered == 0 {
+		t.Fatal("no scored flows")
+	}
+	if acc := score.Accuracy(); acc < 0.8 {
+		t.Fatalf("per-flow accuracy = %v", acc)
+	}
+}
+
+// The traceroute's discovered path must equal the path the data packets
+// actually took — EverFlow cross-validation, §8.2 ("each path recorded by
+// 007 matches exactly the path taken by that flow's packets").
+func TestTraceroutePathMatchesEverFlow(t *testing.T) {
+	cl := testCluster(t, 4)
+	topo := cl.Topo
+	ef := everflow.New(topo, nil)
+	cl.Net.AddTap(ef.Tap())
+	bad := topo.LinksOfClass(topology.L1Up)[3]
+	cl.InjectFailure(bad, 0.05)
+
+	var reports []vote.Report
+	base := cl.Reporter
+	cl.Reporter = func(r vote.Report) { reports = append(reports, r); base(r) }
+
+	rng := stats.NewRNG(5)
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 4, Hi: 4},
+		PacketsPerFlow: traffic.IntRange{Lo: 50, Hi: 50},
+	}
+	for _, f := range w.Generate(rng, topo) {
+		cl.StartFlow(f, des.Time(rng.Intn(int(5*des.Second))))
+	}
+	cl.RunEpoch()
+	if len(reports) == 0 {
+		t.Fatal("no traceroute reports")
+	}
+	checked := 0
+	for _, r := range reports {
+		if r.Partial {
+			continue
+		}
+		var rec *flowRecord
+		for _, fr := range cl.Flows() {
+			if fr.id == r.FlowID {
+				rec = fr
+				break
+			}
+		}
+		if rec == nil {
+			t.Fatalf("report for unknown flow %d", r.FlowID)
+		}
+		want, ok := ef.PathOf(rec.wireTuple)
+		if !ok {
+			continue // flow's packets all died before the first mirror
+		}
+		if len(want) != len(r.Path) {
+			t.Fatalf("flow %d: 007 found %d links, EverFlow %d", r.FlowID, len(r.Path), len(want))
+		}
+		for i := range want {
+			if want[i] != r.Path[i] {
+				t.Fatalf("flow %d: path mismatch at hop %d: 007=%s everflow=%s",
+					r.FlowID, i, topo.LinkName(r.Path[i]), topo.LinkName(want[i]))
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no complete traceroutes to validate")
+	}
+}
+
+// A near-dead link kills the traceroute too; the agent must produce a
+// partial report whose prefix still points at the failure (§4.2:
+// "traceroute itself may fail... this actually helps us").
+func TestPartialTraceroute(t *testing.T) {
+	cl := testCluster(t, 6)
+	topo := cl.Topo
+	src := topo.HostAt(0, 0, 0)
+	dst := topo.HostAt(0, 9, 3)
+	// Kill every uplink of the source ToR beyond the first hop.
+	tor := topo.Hosts[src].ToR
+	for _, up := range topo.Switches[tor].Uplinks {
+		cl.InjectFailure(up, 1.0)
+	}
+	var reports []vote.Report
+	cl.Reporter = func(r vote.Report) { reports = append(reports, r) }
+	cl.StartFlow(traffic.Flow{
+		Src: src, Dst: dst,
+		Tuple: ecmp.FiveTuple{
+			SrcIP: topo.Hosts[src].IP, DstIP: topo.Hosts[dst].IP,
+			SrcPort: 41000, DstPort: 443, Proto: ecmp.ProtoTCP,
+		},
+		Packets: 20,
+	}, 0)
+	cl.RunEpoch()
+	if len(reports) == 0 {
+		t.Fatal("no report for a blackholed flow")
+	}
+	r := reports[0]
+	if !r.Partial {
+		t.Fatal("blackholed traceroute not marked partial")
+	}
+	// The prefix must reach exactly the ToR (host uplink only).
+	if len(r.Path) != 1 || r.Path[0] != topo.Hosts[src].Uplink {
+		t.Fatalf("partial path = %v", r.Path)
+	}
+}
+
+// VIP flows: ETW sees the VIP, the wire carries the DIP, and path
+// discovery must translate through the SLB before probing.
+func TestVIPFlowTracedViaSLB(t *testing.T) {
+	cl := testCluster(t, 7)
+	topo := cl.Topo
+	vip := slb.VIP(1)
+	backends := []topology.HostID{topo.HostAt(0, 5, 0), topo.HostAt(0, 6, 1)}
+	if err := cl.SLB.RegisterVIP(vip, backends); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a T1→ToR link into a backend rack so VIP data paths cross it.
+	bad, ok := topo.LinkBetween(
+		topology.SwitchNode(topo.T1(0, 2)), topology.SwitchNode(topo.ToR(0, 5)))
+	if !ok {
+		t.Fatal("no T1→ToR link")
+	}
+	cl.InjectFailure(bad, 0.08)
+
+	var reports []vote.Report
+	cl.Reporter = func(r vote.Report) { reports = append(reports, r) }
+	rng := stats.NewRNG(8)
+	for i := 0; i < 120; i++ {
+		src := topology.HostID(rng.Intn(len(topo.Hosts)))
+		if err := cl.StartVIPFlow(src, vip, 443, 60, des.Time(rng.Intn(int(5*des.Second)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.RunEpoch()
+	if len(reports) == 0 {
+		t.Fatal("no reports for VIP traffic")
+	}
+	// Every complete report must end at a backend, not at the VIP.
+	for _, r := range reports {
+		if r.Partial {
+			continue
+		}
+		if r.Dst != backends[0] && r.Dst != backends[1] {
+			t.Fatalf("trace ended at host %d, not a backend", r.Dst)
+		}
+	}
+	if cl.SLB.Queries == 0 {
+		t.Fatal("path discovery never queried the SLB")
+	}
+}
+
+// When the SLB query fails, no traceroute may be sent (§4.2).
+func TestSLBFailureSuppressesTraceroute(t *testing.T) {
+	cl := testCluster(t, 9)
+	topo := cl.Topo
+	vip := slb.VIP(1)
+	if err := cl.SLB.RegisterVIP(vip, []topology.HostID{topo.HostAt(0, 5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	cl.SLB.QueryFailRate = 1.0
+	cl.InjectFailure(topo.LinksOfClass(topology.L1Up)[0], 0.3)
+	var reports []vote.Report
+	cl.Reporter = func(r vote.Report) { reports = append(reports, r) }
+	rng := stats.NewRNG(10)
+	for i := 0; i < 60; i++ {
+		src := topology.HostID(rng.Intn(len(topo.Hosts)))
+		if err := cl.StartVIPFlow(src, vip, 443, 40, des.Time(rng.Intn(int(3*des.Second)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.RunEpoch()
+	if len(reports) != 0 {
+		t.Fatalf("%d traceroutes sent despite SLB failures", len(reports))
+	}
+	var skipped int64
+	for _, h := range cl.Hosts {
+		skipped += h.Path.SLBFailures
+	}
+	if skipped == 0 {
+		t.Fatal("no SLB failures recorded")
+	}
+}
+
+// The host Ct budget must bound traceroutes per host per second
+// (Theorem 1's host-side enforcement).
+func TestHostTracerouteBudget(t *testing.T) {
+	topo, err := topology.New(topology.TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Topo: topo, Seed: 11, Ct: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every link lossy: every flow retransmits.
+	for id := range topo.Links {
+		cl.InjectFailure(topology.LinkID(id), 0.3)
+	}
+	rng := stats.NewRNG(12)
+	src := topo.HostAt(0, 0, 0)
+	for i := 0; i < 40; i++ {
+		dst := traffic.Uniform{}.Pick(rng, topo, src)
+		cl.StartFlow(traffic.Flow{
+			Src: src, Dst: dst,
+			Tuple: ecmp.FiveTuple{
+				SrcIP: topo.Hosts[src].IP, DstIP: topo.Hosts[dst].IP,
+				SrcPort: uint16(42000 + i), DstPort: 443, Proto: ecmp.ProtoTCP,
+			},
+			Packets: 30,
+		}, des.Time(i)*100*des.Millisecond) // 40 flows over 4 seconds
+	}
+	cl.RunEpoch()
+	h := cl.Hosts[src]
+	if h.Path.RateLimited == 0 {
+		t.Fatal("budget never engaged")
+	}
+	// 2/s over ~32 seconds of epoch: traces well below flow count.
+	if h.Path.Traces > 2*34 {
+		t.Fatalf("traces = %d exceed the Ct budget envelope", h.Path.Traces)
+	}
+}
+
+// Reports delivered over real loopback TCP must land in the collector
+// identically to in-process delivery.
+func TestLoopbackTCPReporting(t *testing.T) {
+	cl := testCluster(t, 13)
+	topo := cl.Topo
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeCollector(cl.Agent, ln)
+	defer srv.Close()
+	rep, err := DialReporter(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	cl.Reporter = func(r vote.Report) {
+		if err := rep.Report(r); err != nil {
+			t.Errorf("report failed: %v", err)
+		}
+	}
+	bad := topo.LinksOfClass(topology.L1Down)[5]
+	cl.InjectFailure(bad, 0.05)
+	rng := stats.NewRNG(14)
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 3, Hi: 3},
+		PacketsPerFlow: traffic.IntRange{Lo: 40, Hi: 40},
+	}
+	for _, f := range w.Generate(rng, topo) {
+		cl.StartFlow(f, des.Time(rng.Intn(int(5*des.Second))))
+	}
+	res := cl.RunEpoch()
+	if srv.Received == 0 {
+		t.Fatal("collector received nothing over TCP")
+	}
+	if int64(res.Tally.Flows()) != srv.Received {
+		t.Fatalf("tally flows %d != received %d", res.Tally.Flows(), srv.Received)
+	}
+	if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
+		t.Fatalf("TCP-delivered analysis wrong: top = %+v", res.Ranking[0])
+	}
+}
+
+// Connections that exhaust their retries fail — the paper's VM-reboot
+// signal — and 007 must explain them.
+func TestConnFailuresDiagnosed(t *testing.T) {
+	cl := testCluster(t, 15)
+	topo := cl.Topo
+	bad := topo.Hosts[topo.HostAt(0, 3, 0)].Downlink // ToR→host, §8.3's top cause
+	cl.InjectFailure(bad, 0.9)
+	rng := stats.NewRNG(16)
+	for i := 0; i < 10; i++ {
+		src := topology.HostID(rng.Intn(len(topo.Hosts)))
+		if topo.Hosts[src].ToR == topo.Hosts[topo.HostAt(0, 3, 0)].ToR {
+			continue
+		}
+		cl.StartFlow(traffic.Flow{
+			Src: src, Dst: topo.HostAt(0, 3, 0),
+			Tuple: ecmp.FiveTuple{
+				SrcIP: topo.Hosts[src].IP, DstIP: topo.Hosts[topo.HostAt(0, 3, 0)].IP,
+				SrcPort: uint16(43000 + i), DstPort: 443, Proto: ecmp.ProtoTCP,
+			},
+			Packets: 50,
+		}, des.Time(i)*des.Second)
+	}
+	res := cl.RunEpoch()
+	if cl.FailedConns() == 0 {
+		t.Fatal("no connection failed through a 90% loss link")
+	}
+	if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
+		t.Fatalf("failed-connection cause not localized: %+v", res.Ranking)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		cl := testCluster(t, 42)
+		topo := cl.Topo
+		cl.InjectFailure(topo.LinksOfClass(topology.L1Up)[1], 0.05)
+		rng := stats.NewRNG(43)
+		w := traffic.Workload{
+			Pattern:        traffic.Uniform{},
+			ConnsPerHost:   traffic.IntRange{Lo: 2, Hi: 2},
+			PacketsPerFlow: traffic.IntRange{Lo: 30, Hi: 30},
+		}
+		for _, f := range w.Generate(rng, topo) {
+			cl.StartFlow(f, des.Time(rng.Intn(int(3*des.Second))))
+		}
+		res := cl.RunEpoch()
+		return res.Tally.Flows(), res.Tally.Total()
+	}
+	f1, t1 := run()
+	f2, t2 := run()
+	if f1 != f2 || t1 != t2 {
+		t.Fatalf("same seed diverged: %d/%v vs %d/%v", f1, t1, f2, t2)
+	}
+}
+
+// The §9.2 latency extension: a link with injected delay (no drops at all)
+// must be localized through RTT-threshold-triggered voting.
+func TestLatencyDiagnosis(t *testing.T) {
+	topo, err := topology.New(topology.TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Topo: topo, Seed: 31, RTTThresholdMicros: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3ms of extra one-way delay on one T1→ToR link; nothing drops.
+	slow := topo.LinksOfClass(topology.L1Down)[11]
+	cl.Net.SetExtraDelay(slow, 3*des.Millisecond)
+
+	rng := stats.NewRNG(32)
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 6, Hi: 6},
+		PacketsPerFlow: traffic.IntRange{Lo: 40, Hi: 40},
+	}
+	for _, f := range w.Generate(rng, topo) {
+		cl.StartFlow(f, des.Time(rng.Intn(int(10*des.Second))))
+	}
+	res := cl.RunEpoch()
+	if res.Tally.Flows() == 0 {
+		t.Fatal("no latency-triggered reports")
+	}
+	if len(res.Ranking) == 0 || res.Ranking[0].Link != slow {
+		t.Fatalf("top-ranked %s, want the slow link %s",
+			topo.LinkName(res.Ranking[0].Link), topo.LinkName(slow))
+	}
+	// And no retransmissions happened: this is purely latency signal.
+	for _, f := range cl.Flows() {
+		if c := f.Conn(); c != nil && c.Retransmits > 0 {
+			t.Fatal("delay-only fault caused retransmissions")
+		}
+	}
+}
+
+// Without a threshold configured, RTT samples must not trigger anything.
+func TestLatencyDisabledByDefault(t *testing.T) {
+	cl := testCluster(t, 33)
+	topo := cl.Topo
+	cl.Net.SetExtraDelay(topo.LinksOfClass(topology.L1Down)[2], 5*des.Millisecond)
+	rng := stats.NewRNG(34)
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 2, Hi: 2},
+		PacketsPerFlow: traffic.IntRange{Lo: 20, Hi: 20},
+	}
+	for _, f := range w.Generate(rng, topo) {
+		cl.StartFlow(f, des.Time(rng.Intn(int(5*des.Second))))
+	}
+	res := cl.RunEpoch()
+	if res.Tally.Flows() != 0 {
+		t.Fatalf("delay-only fault produced %d reports with latency diagnosis off", res.Tally.Flows())
+	}
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/etw"
+	"vigil/internal/monitor"
+	"vigil/internal/pathdisc"
+	"vigil/internal/topology"
+	"vigil/internal/wire"
+)
+
+// Host is one emulated end host: a minimal reliable-delivery TCP-style
+// stack (enough to produce genuine retransmissions under loss), the ETW
+// bus, and 007's monitoring and path discovery agents — the composition of
+// Figure 2.
+type Host struct {
+	cl *Cluster
+	id topology.HostID
+	ip uint32
+
+	Bus  *etw.Bus
+	Mon  *monitor.Agent
+	Path *pathdisc.Agent
+
+	conns map[ecmp.FiveTuple]*Conn  // keyed by forward wire tuple
+	rx    map[ecmp.FiveTuple]uint32 // receiver: next expected seq per flow
+}
+
+// Conn is one outgoing reliable connection. Loss recovery is a compact
+// cumulative-ACK scheme: three duplicate ACKs trigger fast retransmit, a
+// doubling RTO timer triggers timeout retransmit, and MaxRetries
+// consecutive RTOs fail the connection (the paper's "VM panic" scenario:
+// a storage connection that cannot make progress).
+type Conn struct {
+	host *Host
+	// wireTuple addresses the physical DIP; appTuple is what TCP (and so
+	// ETW and 007) sees — the VIP for load-balanced connections.
+	wireTuple ecmp.FiveTuple
+	appTuple  ecmp.FiveTuple
+
+	total    uint32 // packets to deliver
+	nextSend uint32
+	acked    uint32
+	dupAcks  int
+	retries  int
+	rto      des.Time
+	rtoGen   uint64
+
+	// sentAt records first-transmission times for RTT sampling; following
+	// Karn's rule, retransmitted segments are never sampled.
+	sentAt map[uint32]des.Time
+	srtt   des.Time
+
+	Retransmits int
+	Done        bool
+	Failed      bool
+	onClose     func(c *Conn)
+}
+
+func newHost(cl *Cluster, id topology.HostID) *Host {
+	h := &Host{
+		cl:    cl,
+		id:    id,
+		ip:    cl.Topo.Hosts[id].IP,
+		Bus:   &etw.Bus{},
+		conns: make(map[ecmp.FiveTuple]*Conn),
+		rx:    make(map[ecmp.FiveTuple]uint32),
+	}
+	h.Path = pathdisc.New(pathdisc.Config{
+		Topo:         cl.Topo,
+		Host:         id,
+		SLB:          cl.SLB,
+		Send:         func(data []byte) { cl.Net.SendFromHost(id, data) },
+		Sched:        cl.Sched,
+		Ct:           cl.cfg.Ct,
+		ProbeTimeout: cl.cfg.ProbeTimeout,
+		OnReport:     cl.report,
+		Retx:         func(flow ecmp.FiveTuple) int { return h.Mon.Retx(flow) },
+		FlowID:       cl.flowID,
+	})
+	h.Mon = monitor.New(h.Path.Discover)
+	h.Mon.RTTThresholdMicros = cl.cfg.RTTThresholdMicros
+	h.Mon.Attach(h.Bus)
+	cl.Net.OnHostPacket(id, h.receive)
+	return h
+}
+
+// receive is the host's packet entry point: ICMP goes to path discovery,
+// valid TCP to the stack, everything else (including 007's bad-checksum
+// probes) is dropped exactly as a real stack would drop it.
+func (h *Host) receive(data []byte) {
+	var ip wire.IPv4
+	payload, err := wire.DecodeIPv4(data, &ip)
+	if err != nil {
+		return
+	}
+	switch ip.Protocol {
+	case wire.ProtoICMP:
+		var ic wire.ICMP
+		if wire.DecodeICMP(payload, &ic) == nil {
+			h.Path.HandleICMP(ip.Src, &ic)
+		}
+	case wire.ProtoTCP:
+		if !wire.VerifyTCPChecksum(payload, ip.Src, ip.Dst) {
+			return // bad checksum: probes and corruption die here
+		}
+		var tcp wire.TCP
+		if _, err := wire.DecodeTCP(payload, &tcp); err != nil {
+			return
+		}
+		tuple := ecmp.FiveTuple{
+			SrcIP: ip.Src, DstIP: ip.Dst,
+			SrcPort: tcp.SrcPort, DstPort: tcp.DstPort, Proto: ecmp.ProtoTCP,
+		}
+		if tcp.Flags&wire.FlagPSH != 0 {
+			h.receiveData(tuple, tcp.Seq)
+		} else if tcp.Flags&wire.FlagACK != 0 {
+			if c, ok := h.conns[tuple.Reverse()]; ok {
+				c.onAck(tcp.Ack)
+			}
+		}
+	}
+}
+
+// receiveData handles one data segment: advance the cumulative counter on
+// in-order arrival, and always acknowledge what is expected next (so gaps
+// produce duplicate ACKs at the sender).
+func (h *Host) receiveData(tuple ecmp.FiveTuple, seq uint32) {
+	next := h.rx[tuple]
+	if seq == next {
+		next++
+		h.rx[tuple] = next
+	}
+	h.sendSegment(tuple.Reverse(), wire.TCP{
+		SrcPort: tuple.DstPort, DstPort: tuple.SrcPort,
+		Ack: next, Flags: wire.FlagACK, Window: 64,
+	})
+}
+
+func (h *Host) sendSegment(tuple ecmp.FiveTuple, tcp wire.TCP) {
+	buf := wire.NewBuffer(wire.IPv4HeaderLen + wire.TCPHeaderLen)
+	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: tuple.SrcIP, Dst: tuple.DstIP}
+	tcp.SrcPort, tcp.DstPort = tuple.SrcPort, tuple.DstPort
+	tcp.SerializeTo(buf, &ip)
+	ip.SerializeTo(buf)
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	h.cl.Net.SendFromHost(h.id, out)
+}
+
+// openConn starts a connection sending total packets to the wire tuple.
+func (h *Host) openConn(wireTuple, appTuple ecmp.FiveTuple, total int, onClose func(*Conn)) *Conn {
+	c := &Conn{
+		host:      h,
+		wireTuple: wireTuple,
+		appTuple:  appTuple,
+		total:     uint32(total),
+		rto:       h.cl.cfg.RTO,
+		onClose:   onClose,
+		sentAt:    make(map[uint32]des.Time),
+	}
+	h.conns[wireTuple] = c
+	h.Bus.Publish(etw.Event{Kind: etw.ConnEstablished, Flow: appTuple})
+	c.pump()
+	c.armRTO()
+	return c
+}
+
+func (c *Conn) sendData(seq uint32) {
+	c.host.sendSegment(c.wireTuple, wire.TCP{
+		Seq: seq, Flags: wire.FlagPSH | wire.FlagACK, Window: 64,
+	})
+}
+
+// pump sends new data while the window allows.
+func (c *Conn) pump() {
+	win := uint32(c.host.cl.cfg.Window)
+	for c.nextSend < c.total && c.nextSend < c.acked+win {
+		c.sentAt[c.nextSend] = c.host.cl.Sched.Now()
+		c.sendData(c.nextSend)
+		c.nextSend++
+	}
+}
+
+func (c *Conn) onAck(ackN uint32) {
+	if c.Done || c.Failed {
+		return
+	}
+	switch {
+	case ackN > c.acked:
+		c.sampleRTT(ackN)
+		c.acked = ackN
+		c.dupAcks = 0
+		c.retries = 0
+		c.rto = c.host.cl.cfg.RTO
+		if c.acked >= c.total {
+			c.close(false)
+			return
+		}
+		c.pump()
+		c.armRTO()
+	case ackN == c.acked:
+		c.dupAcks++
+		if c.dupAcks >= 3 {
+			c.dupAcks = 0
+			c.retransmit(false)
+		}
+	}
+}
+
+// retransmit resends the lowest unacknowledged segment and publishes the
+// ETW retransmission event that wakes 007.
+func (c *Conn) retransmit(timeout bool) {
+	c.Retransmits++
+	delete(c.sentAt, c.acked) // Karn: never RTT-sample a retransmission
+	c.host.Bus.Publish(etw.Event{
+		Kind: etw.Retransmit, Flow: c.appTuple, Seq: c.acked, Timeout: timeout,
+	})
+	c.sendData(c.acked)
+	c.armRTO()
+}
+
+// sampleRTT folds the newly acknowledged segment's round trip into the
+// smoothed estimate (RFC 6298's 7/8-1/8 EWMA) and publishes it — the
+// per-ACK SRTT stream that §9.2's latency diagnosis thresholds.
+func (c *Conn) sampleRTT(ackN uint32) {
+	at, ok := c.sentAt[ackN-1]
+	for seq := c.acked; seq < ackN; seq++ {
+		delete(c.sentAt, seq)
+	}
+	if !ok {
+		return
+	}
+	sample := c.host.cl.Sched.Now() - at
+	if c.srtt == 0 {
+		c.srtt = sample
+	} else {
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.host.Bus.Publish(etw.Event{
+		Kind: etw.RTTSample, Flow: c.appTuple, SRTTMicros: int64(c.srtt),
+	})
+}
+
+func (c *Conn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	c.host.cl.Sched.After(c.rto, func() { c.onRTO(gen) })
+}
+
+func (c *Conn) onRTO(gen uint64) {
+	if c.Done || c.Failed || gen != c.rtoGen {
+		return
+	}
+	c.retries++
+	if c.retries > c.host.cl.cfg.MaxRetries {
+		c.close(true)
+		return
+	}
+	if c.rto < 4*des.Second {
+		c.rto *= 2
+	}
+	c.retransmit(true)
+}
+
+func (c *Conn) close(failed bool) {
+	c.Done = !failed
+	c.Failed = failed
+	delete(c.host.conns, c.wireTuple)
+	c.host.Bus.Publish(etw.Event{Kind: etw.ConnClosed, Flow: c.appTuple, Timeout: failed})
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"vigil/internal/analysis"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+// This file carries vote reports over a real TCP connection — the
+// deployment shape of Figure 2, where host agents report to a centralized
+// analysis service. The protocol is JSON lines with a one-byte
+// acknowledgement per report, which keeps epoch boundaries exact: when a
+// send returns, the collector has the report.
+
+// wireReport is the on-the-wire form of vote.Report.
+type wireReport struct {
+	FlowID  int64   `json:"flow_id"`
+	Src     int32   `json:"src"`
+	Dst     int32   `json:"dst"`
+	Path    []int32 `json:"path"`
+	Retx    int     `json:"retx"`
+	Partial bool    `json:"partial,omitempty"`
+}
+
+func toWire(r vote.Report) wireReport {
+	w := wireReport{
+		FlowID: r.FlowID, Src: int32(r.Src), Dst: int32(r.Dst),
+		Retx: r.Retx, Partial: r.Partial,
+	}
+	w.Path = make([]int32, len(r.Path))
+	for i, l := range r.Path {
+		w.Path[i] = int32(l)
+	}
+	return w
+}
+
+func fromWire(w wireReport) vote.Report {
+	r := vote.Report{
+		FlowID: w.FlowID, Src: topology.HostID(w.Src), Dst: topology.HostID(w.Dst),
+		Retx: w.Retx, Partial: w.Partial,
+	}
+	r.Path = make([]topology.LinkID, len(w.Path))
+	for i, l := range w.Path {
+		r.Path[i] = topology.LinkID(l)
+	}
+	return r
+}
+
+// CollectorServer accepts host-agent connections and feeds their reports
+// into an analysis agent.
+type CollectorServer struct {
+	agent *analysis.Agent
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	Received int64
+}
+
+// ServeCollector starts a collector on ln; it owns the listener.
+func ServeCollector(agent *analysis.Agent, ln net.Listener) *CollectorServer {
+	s := &CollectorServer{agent: agent, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *CollectorServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *CollectorServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *CollectorServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	dec := json.NewDecoder(br)
+	for {
+		var w wireReport
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		s.agent.Submit(fromWire(w))
+		s.mu.Lock()
+		s.Received++
+		s.mu.Unlock()
+		if _, err := conn.Write([]byte{'.'}); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the listener down and waits for handlers to finish.
+func (s *CollectorServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPReporter ships reports to a collector over TCP, one acknowledged
+// JSON line per report. Safe for concurrent use.
+type TCPReporter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	ack  [1]byte
+}
+
+// DialReporter connects to a collector.
+func DialReporter(addr string) (*TCPReporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing collector: %w", err)
+	}
+	return &TCPReporter{conn: conn, enc: json.NewEncoder(conn)}, nil
+}
+
+// Report sends one report and waits for the collector's acknowledgement.
+func (t *TCPReporter) Report(r vote.Report) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(toWire(r)); err != nil {
+		return err
+	}
+	_, err := t.conn.Read(t.ack[:])
+	return err
+}
+
+// Close tears the connection down.
+func (t *TCPReporter) Close() error { return t.conn.Close() }

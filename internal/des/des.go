@@ -1,0 +1,102 @@
+// Package des is a discrete-event scheduler with a virtual clock. The
+// packet-level emulation (fabric, hosts, agents) runs entirely on virtual
+// time, which makes ICMP rate limits, retransmission timeouts and epoch
+// boundaries exact and deterministic regardless of wall-clock load.
+package des
+
+import "container/heap"
+
+// Time is virtual time in microseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending event queue.
+// The zero value is ready to use. Not safe for concurrent use: the
+// emulation is single-threaded by design.
+type Scheduler struct {
+	now    Time
+	nextID uint64
+	events eventHeap
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn at absolute time t. Events in the past run "now": the
+// clock never moves backward.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.nextID++
+	heap.Push(&s.events, event{at: t, seq: s.nextID, fn: fn})
+}
+
+// After schedules fn d microseconds from now.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the queue empties or the next event lies
+// beyond deadline; the clock is then advanced to the deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Drain runs events until none remain, with a safety cap on event count.
+// It returns the number of events executed.
+func (s *Scheduler) Drain(maxEvents int) int {
+	n := 0
+	for n < maxEvents && s.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package des
+
+import "testing"
+
+func TestOrdering(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Drain(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Drain(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var s Scheduler
+	var fired []Time
+	s.After(10, func() {
+		fired = append(fired, s.Now())
+		s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Drain(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	var s Scheduler
+	s.At(100, func() {})
+	s.Step()
+	ran := false
+	s.At(50, func() { ran = true }) // in the past
+	s.Step()
+	if !ran || s.Now() != 100 {
+		t.Fatalf("past event handling wrong: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i*Second, func() { count++ })
+	}
+	s.RunUntil(5 * Second)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if s.Now() != 5*Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Deadline with no events advances the clock.
+	s.RunUntil(20 * Second)
+	if count != 10 || s.Now() != 20*Second {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestDrainCap(t *testing.T) {
+	var s Scheduler
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		n++
+		s.After(1, reschedule)
+	}
+	s.After(1, reschedule)
+	if ran := s.Drain(50); ran != 50 {
+		t.Fatalf("Drain ran %d events", ran)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Scheduler
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}

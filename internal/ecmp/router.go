@@ -1,0 +1,102 @@
+package ecmp
+
+import (
+	"errors"
+	"fmt"
+
+	"vigil/internal/topology"
+)
+
+// Path is a resolved route between two hosts.
+type Path struct {
+	Links    []topology.LinkID   // in traversal order, host uplink first
+	Switches []topology.SwitchID // switches visited, in order
+}
+
+// Len returns the number of links, the h of the paper's 1/h vote value.
+func (p Path) Len() int { return len(p.Links) }
+
+// Router resolves paths over a topology using per-switch ECMP hashing.
+type Router struct {
+	Topo  *topology.Topology
+	Seeds *Seeds
+}
+
+// NewRouter builds a Router.
+func NewRouter(topo *topology.Topology, seeds *Seeds) *Router {
+	return &Router{Topo: topo, Seeds: seeds}
+}
+
+// ErrNoRoute is returned when forwarding cannot reach the destination.
+var ErrNoRoute = errors.New("ecmp: no route to destination")
+
+// NextHopLink picks the egress link at switch sw for a packet with tuple t
+// destined to host dst, using the switch's seeded hash for upward choices.
+// Downward forwarding is deterministic (a Clos has exactly one down path
+// from any switch to a host in its subtree).
+func (r *Router) NextHopLink(sw topology.SwitchID, t FiveTuple, dst topology.HostID) (topology.LinkID, error) {
+	topo := r.Topo
+	s := &topo.Switches[sw]
+	d := &topo.Hosts[dst]
+	h := Hash(t, r.Seeds.Seed(sw))
+	switch s.Tier {
+	case topology.TierToR:
+		if d.ToR == sw {
+			return s.Downlinks[d.Index], nil
+		}
+		if len(s.Uplinks) == 0 {
+			return topology.NoLink, ErrNoRoute
+		}
+		return s.Uplinks[int(h%uint64(len(s.Uplinks)))], nil
+	case topology.TierT1:
+		if d.Pod == s.Pod {
+			dstToR := topo.Switches[d.ToR]
+			return s.Downlinks[dstToR.Index], nil
+		}
+		if len(s.Uplinks) == 0 {
+			return topology.NoLink, ErrNoRoute
+		}
+		return s.Uplinks[int(h%uint64(len(s.Uplinks)))], nil
+	case topology.TierT2:
+		n1 := topo.Cfg.T1PerPod
+		j := int(h % uint64(n1))
+		return s.Downlinks[d.Pod*n1+j], nil
+	}
+	return topology.NoLink, fmt.Errorf("ecmp: unknown tier %v", s.Tier)
+}
+
+// maxHops bounds path resolution; a Clos host-to-host path has at most 6
+// links, so hitting the bound means the forwarding state is inconsistent.
+const maxHops = 8
+
+// Path resolves the full route from src to dst for tuple t.
+// Same-host src/dst is an error; the paper's traffic model never produces it.
+func (r *Router) Path(src, dst topology.HostID, t FiveTuple) (Path, error) {
+	if src == dst {
+		return Path{}, fmt.Errorf("ecmp: src and dst are both host %d", src)
+	}
+	topo := r.Topo
+	p := Path{
+		Links:    make([]topology.LinkID, 0, 6),
+		Switches: make([]topology.SwitchID, 0, 5),
+	}
+	p.Links = append(p.Links, topo.Hosts[src].Uplink)
+	cur := topo.Hosts[src].ToR
+	for hop := 0; hop < maxHops; hop++ {
+		p.Switches = append(p.Switches, cur)
+		link, err := r.NextHopLink(cur, t, dst)
+		if err != nil {
+			return Path{}, err
+		}
+		p.Links = append(p.Links, link)
+		to := topo.Links[link].To
+		if to.Kind == topology.NodeHost {
+			if topology.HostID(to.ID) != dst {
+				return Path{}, fmt.Errorf("ecmp: delivered to host %d, want %d", to.ID, dst)
+			}
+			return p, nil
+		}
+		cur = topology.SwitchID(to.ID)
+	}
+	return Path{}, fmt.Errorf("ecmp: path from %d to %d exceeded %d hops", src, dst, maxHops)
+}

@@ -1,0 +1,68 @@
+// Package etw is the event-tracing bus that feeds 007's TCP monitoring
+// agent. On Windows the paper uses Event Tracing for Windows, which
+// "notifies the agent as soon as an active flow suffers a retransmission";
+// the Linux analogue is an eBPF program attached to the
+// tcp_retransmit_skb tracepoint publishing through a ring buffer. This
+// package reproduces that contract — a host-local publish/subscribe bus
+// carrying TCP state events — independent of the event source.
+package etw
+
+import (
+	"sync"
+
+	"vigil/internal/ecmp"
+)
+
+// Kind enumerates event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Retransmit fires when a flow retransmits a segment, the trigger for
+	// 007's path discovery.
+	Retransmit Kind = iota
+	// RTTSample carries a smoothed RTT estimate on each received ACK; §9.2
+	// describes thresholding these to extend 007 to latency diagnosis.
+	RTTSample
+	// ConnEstablished fires when a connection completes its handshake.
+	ConnEstablished
+	// ConnClosed fires when a connection terminates (normally or not).
+	ConnClosed
+)
+
+// Event is one TCP state notification.
+type Event struct {
+	Kind Kind
+	Flow ecmp.FiveTuple
+	// Seq is the retransmitted sequence number for Retransmit events.
+	Seq uint32
+	// SRTTMicros is the smoothed RTT for RTTSample events.
+	SRTTMicros int64
+	// Timeout marks a retransmission driven by an RTO rather than dup-ACKs.
+	Timeout bool
+}
+
+// Bus is a host-local event bus. Subscribing is expected at setup time;
+// publishing is hot-path and lock-cheap. Safe for concurrent use.
+type Bus struct {
+	mu   sync.RWMutex
+	subs []func(Event)
+}
+
+// Subscribe registers fn for all future events.
+func (b *Bus) Subscribe(fn func(Event)) {
+	b.mu.Lock()
+	b.subs = append(b.subs, fn)
+	b.mu.Unlock()
+}
+
+// Publish delivers e to all subscribers synchronously, in subscription
+// order.
+func (b *Bus) Publish(e Event) {
+	b.mu.RLock()
+	subs := b.subs
+	b.mu.RUnlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}

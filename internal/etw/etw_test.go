@@ -1,0 +1,61 @@
+package etw
+
+import (
+	"sync"
+	"testing"
+
+	"vigil/internal/ecmp"
+)
+
+func TestPublishOrderAndFanout(t *testing.T) {
+	var bus Bus
+	var got []string
+	bus.Subscribe(func(e Event) { got = append(got, "a") })
+	bus.Subscribe(func(e Event) { got = append(got, "b") })
+	bus.Publish(Event{Kind: Retransmit})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("delivery order = %v", got)
+	}
+}
+
+func TestEventPayload(t *testing.T) {
+	var bus Bus
+	var seen Event
+	bus.Subscribe(func(e Event) { seen = e })
+	flow := ecmp.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	bus.Publish(Event{Kind: RTTSample, Flow: flow, SRTTMicros: 150, Seq: 9, Timeout: true})
+	if seen.Kind != RTTSample || seen.Flow != flow || seen.SRTTMicros != 150 ||
+		seen.Seq != 9 || !seen.Timeout {
+		t.Fatalf("payload corrupted: %+v", seen)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	var bus Bus
+	var mu sync.Mutex
+	count := 0
+	bus.Subscribe(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				bus.Publish(Event{Kind: Retransmit})
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Fatalf("delivered %d events, want 800", count)
+	}
+}
+
+func TestNoSubscribers(t *testing.T) {
+	var bus Bus
+	bus.Publish(Event{Kind: ConnClosed}) // must not panic
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run clean at Quick scale and produce
+// renderable, non-empty tables — the smoke test for the whole harness.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	runners := All()
+	if len(runners) < 20 {
+		t.Fatalf("only %d experiments registered", len(runners))
+	}
+	for _, r := range runners {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(Options{Scale: Quick, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if res.ID != r.ID {
+				t.Fatalf("result ID %q != runner ID %q", res.ID, r.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for _, tab := range res.Tables {
+				var buf bytes.Buffer
+				if err := tab.RenderASCII(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := tab.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if len(tab.Columns) == 0 {
+					t.Fatalf("%s: table %q has no columns", r.ID, tab.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig3"); !ok {
+		t.Fatal("fig3 not registered")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Title == "" || !strings.ContainsAny(r.ID, "abcdefghijklmnopqrstuvwxyz") {
+			t.Fatalf("experiment %q missing metadata", r.ID)
+		}
+	}
+}
+
+// Headline shape checks at Quick scale: 007's single-failure accuracy must
+// be high, and its detection must beat the binary program's precision
+// under noise (the paper's central comparative claims).
+func TestShapeSingleFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	outs, err := sweepPoint(simSpec{
+		topo:     Options{Scale: Quick}.topoConfig(),
+		failures: singleFailure(0.01),
+	}, Options{Scale: Quick, Seeds: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := mean(outs, func(o simOutcome) float64 { return o.acc007 })
+	if acc.Mean < 0.85 {
+		t.Fatalf("007 single-failure accuracy = %v", acc.Mean)
+	}
+	rec := mean(outs, func(o simOutcome) float64 { return o.det007.Recall })
+	if rec.Mean < 0.9 {
+		t.Fatalf("007 single-failure recall = %v", rec.Mean)
+	}
+}

@@ -1,0 +1,356 @@
+// Package fabric emulates the datacenter's data plane at packet level:
+// switches forward serialized IPv4 packets hop by hop under ECMP, decrement
+// TTLs, and answer expired probes with ICMP time-exceeded messages from a
+// control plane whose ICMP generation is capped by a token bucket — the
+// Tmax = 100/s limit that Theorem 1 is built around. Links drop packets
+// with injectable probabilities, and mirror taps provide the
+// EverFlow-style observation points used for ground truth.
+//
+// The fabric is single-threaded on virtual time (package des); determinism
+// comes from the explicit RNG and the scheduler's FIFO tie-breaking.
+package fabric
+
+import (
+	"fmt"
+
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/wire"
+)
+
+// Config assembles a fabric.
+type Config struct {
+	Topo   *topology.Topology
+	Router *ecmp.Router
+	Sched  *des.Scheduler
+	RNG    *stats.RNG
+	// Tmax caps each switch's ICMP generation rate (messages/second).
+	// The paper's operators set 100. Zero means the paper's default.
+	Tmax float64
+	// LinkDelay is the one-hop propagation+processing delay; zero means
+	// the 5µs default (datacenter RTTs are "less than 1 or 2 ms", §4.2).
+	LinkDelay des.Time
+}
+
+// TapEvent is one observation from a mirror tap (EverFlow-style) or a drop
+// notification used as ground truth by tests.
+type TapEvent struct {
+	Time    des.Time
+	Switch  topology.SwitchID // -1 when the event happened on a host link
+	Egress  topology.LinkID
+	Dropped bool // true: the packet died on Egress
+	IP      wire.IPv4
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+}
+
+// Tap observes forwarded and dropped packets.
+type Tap func(TapEvent)
+
+// Net is the running fabric.
+type Net struct {
+	cfg        Config
+	topo       *topology.Topology
+	dropRate   []float64
+	extraDelay []des.Time
+	lag        map[topology.LinkID][]float64
+	hostRx     []func(data []byte)
+	buckets    []tokenBucket
+	taps       []Tap
+
+	// Counters, indexed by link and switch respectively.
+	LinkForwarded  []int64
+	LinkDropped    []int64
+	ICMPSent       []int64
+	ICMPSuppressed []int64
+	icmpPerSec     map[int64]int // (switch<<32 | second) → count
+}
+
+// New builds a fabric over the topology.
+func New(cfg Config) (*Net, error) {
+	if cfg.Topo == nil || cfg.Router == nil || cfg.Sched == nil || cfg.RNG == nil {
+		return nil, fmt.Errorf("fabric: Topo, Router, Sched and RNG are all required")
+	}
+	if cfg.Tmax <= 0 {
+		cfg.Tmax = 100
+	}
+	if cfg.LinkDelay <= 0 {
+		cfg.LinkDelay = 5 * des.Microsecond
+	}
+	n := &Net{
+		cfg:            cfg,
+		topo:           cfg.Topo,
+		dropRate:       make([]float64, len(cfg.Topo.Links)),
+		extraDelay:     make([]des.Time, len(cfg.Topo.Links)),
+		hostRx:         make([]func([]byte), len(cfg.Topo.Hosts)),
+		buckets:        make([]tokenBucket, len(cfg.Topo.Switches)),
+		LinkForwarded:  make([]int64, len(cfg.Topo.Links)),
+		LinkDropped:    make([]int64, len(cfg.Topo.Links)),
+		ICMPSent:       make([]int64, len(cfg.Topo.Switches)),
+		ICMPSuppressed: make([]int64, len(cfg.Topo.Switches)),
+		icmpPerSec:     make(map[int64]int),
+	}
+	for i := range n.buckets {
+		n.buckets[i] = tokenBucket{tokens: cfg.Tmax, rate: cfg.Tmax, burst: cfg.Tmax}
+	}
+	return n, nil
+}
+
+// SetDropRate injects a drop probability on a directed link.
+func (n *Net) SetDropRate(l topology.LinkID, rate float64) { n.dropRate[l] = rate }
+
+// DropRate returns a link's current drop probability.
+func (n *Net) DropRate(l topology.LinkID) float64 { return n.dropRate[l] }
+
+// SetExtraDelay injects additional one-way latency on a directed link —
+// the "large queue buildups" and latency failures of §9.2 that 007's
+// RTT-threshold extension diagnoses.
+func (n *Net) SetExtraDelay(l topology.LinkID, d des.Time) { n.extraDelay[l] = d }
+
+// SetLAG models link aggregation (§4.2): the directed link becomes a
+// bundle of members, each with its own drop rate, and every flow is
+// pinned to one member by its packet hash. A single bad member then hurts
+// only the flows hashed onto it, while the L3 path — and therefore 007's
+// traceroute and votes — still names the one logical link, exactly the
+// paper's observation that "unless all the links in the aggregation group
+// fail, the L3 path is not affected".
+func (n *Net) SetLAG(l topology.LinkID, memberDrop []float64) {
+	if n.lag == nil {
+		n.lag = make(map[topology.LinkID][]float64)
+	}
+	if len(memberDrop) == 0 {
+		delete(n.lag, l)
+		return
+	}
+	n.lag[l] = append([]float64(nil), memberDrop...)
+}
+
+// lagDropRate resolves the drop probability a specific packet sees on a
+// LAG bundle: the rate of the member its five-tuple hashes onto (the IP
+// header plus the transport ports, as LAG hashing does in practice).
+func (n *Net) lagDropRate(l topology.LinkID, data []byte) float64 {
+	members := n.lag[l]
+	end := wire.IPv4HeaderLen + 4 // header + src/dst ports
+	if end > len(data) {
+		end = len(data)
+	}
+	// Skip the mutable TTL (byte 8) and header checksum (bytes 10-11) so a
+	// flow's member choice is identical at every hop.
+	var h uint32 = 2166136261
+	for i, b := range data[:end] {
+		if i == 8 || i == 10 || i == 11 {
+			continue
+		}
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return members[int(h%uint32(len(members)))]
+}
+
+// OnHostPacket registers the receive handler for host h.
+func (n *Net) OnHostPacket(h topology.HostID, fn func(data []byte)) { n.hostRx[h] = fn }
+
+// AddTap installs a mirror tap observing every switch forwarding decision
+// and every link drop.
+func (n *Net) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// SendFromHost injects a packet from host h onto its uplink.
+func (n *Net) SendFromHost(h topology.HostID, data []byte) {
+	n.transmit(n.topo.Hosts[h].Uplink, data)
+}
+
+// transmit carries data across link l: maybe drop, else deliver to the far
+// end after the link delay.
+func (n *Net) transmit(l topology.LinkID, data []byte) {
+	r := n.dropRate[l]
+	if _, isLAG := n.lag[l]; isLAG {
+		r = n.lagDropRate(l, data)
+	}
+	if r > 0 && n.cfg.RNG.Bool(r) {
+		n.LinkDropped[l]++
+		n.notifyDrop(l, data)
+		return
+	}
+	n.LinkForwarded[l]++
+	to := n.topo.Links[l].To
+	n.cfg.Sched.After(n.cfg.LinkDelay+n.extraDelay[l], func() {
+		if to.Kind == topology.NodeHost {
+			if fn := n.hostRx[to.ID]; fn != nil {
+				fn(data)
+			}
+			return
+		}
+		n.switchHandle(topology.SwitchID(to.ID), data)
+	})
+}
+
+// switchHandle is a switch's forwarding path.
+func (n *Net) switchHandle(sw topology.SwitchID, data []byte) {
+	var ip wire.IPv4
+	payload, err := wire.DecodeIPv4(data, &ip)
+	if err != nil {
+		return // corrupt header: silently dropped, as hardware would
+	}
+	if ip.TTL <= 1 {
+		n.ttlExpired(sw, data, ip)
+		return
+	}
+	dstNode, ok := n.topo.LookupIP(ip.Dst)
+	if !ok || dstNode.Kind != topology.NodeHost {
+		return // not routable (switch loopbacks are never packet sinks)
+	}
+	decrementTTL(data)
+	tuple := ecmp.FiveTuple{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
+	var seq uint32
+	if ip.Protocol == wire.ProtoTCP && len(payload) >= 8 {
+		tuple.SrcPort = uint16(payload[0])<<8 | uint16(payload[1])
+		tuple.DstPort = uint16(payload[2])<<8 | uint16(payload[3])
+		seq = uint32(payload[4])<<24 | uint32(payload[5])<<16 | uint32(payload[6])<<8 | uint32(payload[7])
+	}
+	egress, err := n.cfg.Router.NextHopLink(sw, tuple, topology.HostID(dstNode.ID))
+	if err != nil {
+		return
+	}
+	n.notifyForward(sw, egress, ip, tuple, seq)
+	n.transmit(egress, data)
+}
+
+// ttlExpired runs the switch control plane: generate an ICMP time-exceeded
+// reply if the token bucket allows, else silently drop (the switch CPU is
+// protected; this is exactly the behaviour 007's Ct bound must respect).
+func (n *Net) ttlExpired(sw topology.SwitchID, data []byte, ip wire.IPv4) {
+	if ip.Protocol == wire.ProtoICMP {
+		return // never ICMP about ICMP (RFC 792 discipline)
+	}
+	srcNode, ok := n.topo.LookupIP(ip.Src)
+	if !ok || srcNode.Kind != topology.NodeHost {
+		return
+	}
+	if !n.buckets[sw].allow(n.cfg.Sched.Now()) {
+		n.ICMPSuppressed[sw]++
+		return
+	}
+	n.ICMPSent[sw]++
+	sec := int64(n.cfg.Sched.Now() / des.Second)
+	n.icmpPerSec[int64(sw)<<32|sec]++
+
+	reply := wire.TimeExceeded(data)
+	buf := wire.NewBuffer(64)
+	reply.SerializeTo(buf)
+	replyIP := wire.IPv4{
+		TTL: 64, Protocol: wire.ProtoICMP,
+		Src: n.topo.Switches[sw].IP, Dst: ip.Src,
+	}
+	replyIP.SerializeTo(buf)
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+
+	tuple := ecmp.FiveTuple{SrcIP: replyIP.Src, DstIP: replyIP.Dst, Proto: wire.ProtoICMP}
+	egress, err := n.cfg.Router.NextHopLink(sw, tuple, topology.HostID(srcNode.ID))
+	if err != nil {
+		return
+	}
+	n.transmit(egress, out)
+}
+
+func decrementTTL(data []byte) {
+	data[8]--
+	// Incremental checksum update (RFC 1141): TTL sits in the high byte of
+	// word 4; recompute the full header checksum for simplicity.
+	data[10], data[11] = 0, 0
+	sum := wire.Checksum(data[:wire.IPv4HeaderLen])
+	data[10], data[11] = byte(sum>>8), byte(sum)
+}
+
+func (n *Net) notifyForward(sw topology.SwitchID, egress topology.LinkID, ip wire.IPv4, t ecmp.FiveTuple, seq uint32) {
+	if len(n.taps) == 0 {
+		return
+	}
+	ev := TapEvent{
+		Time: n.cfg.Sched.Now(), Switch: sw, Egress: egress,
+		IP: ip, SrcPort: t.SrcPort, DstPort: t.DstPort, Seq: seq,
+	}
+	for _, tap := range n.taps {
+		tap(ev)
+	}
+}
+
+func (n *Net) notifyDrop(l topology.LinkID, data []byte) {
+	if len(n.taps) == 0 {
+		return
+	}
+	var ip wire.IPv4
+	payload, err := wire.DecodeIPv4(data, &ip)
+	if err != nil {
+		return
+	}
+	ev := TapEvent{Time: n.cfg.Sched.Now(), Switch: -1, Egress: l, Dropped: true, IP: ip}
+	if from := n.topo.Links[l].From; from.Kind == topology.NodeSwitch {
+		ev.Switch = topology.SwitchID(from.ID)
+	}
+	if ip.Protocol == wire.ProtoTCP && len(payload) >= 8 {
+		ev.SrcPort = uint16(payload[0])<<8 | uint16(payload[1])
+		ev.DstPort = uint16(payload[2])<<8 | uint16(payload[3])
+		ev.Seq = uint32(payload[4])<<24 | uint32(payload[5])<<16 | uint32(payload[6])<<8 | uint32(payload[7])
+	}
+	for _, tap := range n.taps {
+		tap(ev)
+	}
+}
+
+// ICMPPerSecond returns every non-zero (switch, second) ICMP count.
+func (n *Net) ICMPPerSecond() []int {
+	out := make([]int, 0, len(n.icmpPerSec))
+	for _, c := range n.icmpPerSec {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ICMPSecondStats summarizes the per-switch per-second ICMP distribution
+// over an observation window, Table 1's format: the fraction of
+// switch-seconds with zero, 1-3, and >3 messages, plus the maximum.
+func (n *Net) ICMPSecondStats(seconds int64) (zero, low, high float64, max int) {
+	total := seconds * int64(len(n.topo.Switches))
+	if total == 0 {
+		return 1, 0, 0, 0
+	}
+	var nLow, nHigh int64
+	for _, c := range n.icmpPerSec {
+		if c > max {
+			max = c
+		}
+		if c > 3 {
+			nHigh++
+		} else {
+			nLow++
+		}
+	}
+	nZero := total - nLow - nHigh
+	return float64(nZero) / float64(total), float64(nLow) / float64(total),
+		float64(nHigh) / float64(total), max
+}
+
+// tokenBucket enforces the control-plane ICMP cap.
+type tokenBucket struct {
+	tokens float64
+	rate   float64 // tokens per virtual second
+	burst  float64
+	last   des.Time
+}
+
+func (b *tokenBucket) allow(now des.Time) bool {
+	elapsed := float64(now-b.last) / float64(des.Second)
+	b.last = now
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,310 @@
+package fabric
+
+import (
+	"testing"
+
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/wire"
+)
+
+type rig struct {
+	topo   *topology.Topology
+	router *ecmp.Router
+	sched  *des.Scheduler
+	net    *Net
+}
+
+func newRig(t testing.TB, cfg topology.Config, seed uint64) *rig {
+	t.Helper()
+	topo, err := topology.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	sched := &des.Scheduler{}
+	router := ecmp.NewRouter(topo, ecmp.NewSeeds(topo, rng.Split()))
+	net, err := New(Config{Topo: topo, Router: router, Sched: sched, RNG: rng.Split()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{topo: topo, router: router, sched: sched, net: net}
+}
+
+func tcpPacket(srcIP, dstIP uint32, srcPort, dstPort uint16, seq uint32, ttl uint8, id uint16) []byte {
+	buf := wire.NewBuffer(64)
+	ip := wire.IPv4{ID: id, TTL: ttl, Protocol: wire.ProtoTCP, Src: srcIP, Dst: dstIP}
+	tcp := wire.TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: wire.FlagPSH | wire.FlagACK}
+	tcp.SerializeTo(buf, &ip)
+	ip.SerializeTo(buf)
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestDeliveryAcrossFabric(t *testing.T) {
+	r := newRig(t, topology.Config{Pods: 2, ToRsPerPod: 3, T1PerPod: 2, T2: 2, HostsPerToR: 2}, 1)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(1, 2, 1)
+	var got []byte
+	r.net.OnHostPacket(dst, func(data []byte) { got = data })
+	pkt := tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40000, 443, 7, 64, 0)
+	r.net.SendFromHost(src, pkt)
+	r.sched.Drain(1000)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	var ip wire.IPv4
+	seg, err := wire.DecodeIPv4(got, &ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-pod path: 5 switches, so TTL decremented 5 times.
+	if ip.TTL != 64-5 {
+		t.Fatalf("TTL = %d, want 59", ip.TTL)
+	}
+	if !wire.VerifyTCPChecksum(seg, ip.Src, ip.Dst) {
+		t.Fatal("checksum broken in flight (TTL patch must fix the header checksum)")
+	}
+	var tcp wire.TCP
+	if _, err := wire.DecodeTCP(seg, &tcp); err != nil || tcp.Seq != 7 {
+		t.Fatalf("payload corrupted: %v seq=%d", err, tcp.Seq)
+	}
+}
+
+func TestPacketFollowsECMPPath(t *testing.T) {
+	r := newRig(t, topology.DefaultSimConfig, 2)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(1, 5, 3)
+	tuple := ecmp.FiveTuple{
+		SrcIP: r.topo.Hosts[src].IP, DstIP: r.topo.Hosts[dst].IP,
+		SrcPort: 40001, DstPort: 443, Proto: ecmp.ProtoTCP,
+	}
+	want, err := r.router.Path(src, dst, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []topology.LinkID
+	r.net.AddTap(func(ev TapEvent) {
+		if !ev.Dropped {
+			got = append(got, ev.Egress)
+		}
+	})
+	r.net.SendFromHost(src, tcpPacket(tuple.SrcIP, tuple.DstIP, tuple.SrcPort, tuple.DstPort, 0, 64, 0))
+	r.sched.Drain(1000)
+	// Tap sees egress decisions at switches: want.Links minus the host uplink.
+	if len(got) != len(want.Links)-1 {
+		t.Fatalf("observed %d hops, want %d", len(got), len(want.Links)-1)
+	}
+	for i, l := range got {
+		if l != want.Links[i+1] {
+			t.Fatalf("hop %d: fabric took %s, ECMP says %s", i, r.topo.LinkName(l), r.topo.LinkName(want.Links[i+1]))
+		}
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 3)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	delivered := 0
+	r.net.OnHostPacket(dst, func([]byte) { delivered++ })
+	r.net.SetDropRate(r.topo.Hosts[src].Uplink, 1.0)
+	for i := 0; i < 50; i++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40002, 443, uint32(i), 64, 0))
+	}
+	r.sched.Drain(10000)
+	if delivered != 0 {
+		t.Fatalf("%d packets survived a 100%% drop link", delivered)
+	}
+	if r.net.LinkDropped[r.topo.Hosts[src].Uplink] != 50 {
+		t.Fatalf("drop counter = %d", r.net.LinkDropped[r.topo.Hosts[src].Uplink])
+	}
+}
+
+func TestTTLExpiryGeneratesICMP(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 4)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	var replies [][]byte
+	r.net.OnHostPacket(src, func(data []byte) { replies = append(replies, data) })
+	// TTL=1 expires at the ToR; TTL=2 at the T1.
+	for ttl := uint8(1); ttl <= 2; ttl++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40003, 443, 0, ttl, uint16(ttl)))
+	}
+	r.sched.Drain(10000)
+	if len(replies) != 2 {
+		t.Fatalf("got %d ICMP replies, want 2", len(replies))
+	}
+	wantFrom := []uint32{
+		r.topo.Switches[r.topo.Hosts[src].ToR].IP,
+		0, // any T1; checked by tier below
+	}
+	for i, data := range replies {
+		var ip wire.IPv4
+		payload, err := wire.DecodeIPv4(data, &ip)
+		if err != nil || ip.Protocol != wire.ProtoICMP {
+			t.Fatalf("reply %d not ICMP: %v", i, err)
+		}
+		var ic wire.ICMP
+		if err := wire.DecodeICMP(payload, &ic); err != nil {
+			t.Fatal(err)
+		}
+		if ic.Type != wire.ICMPTypeTimeExceeded {
+			t.Fatalf("reply %d type %d", i, ic.Type)
+		}
+		emb, _, _, hasPorts, err := wire.ExpiredProbe(ic.Body)
+		if err != nil || !hasPorts {
+			t.Fatalf("reply %d: embedded probe unreadable: %v", i, err)
+		}
+		if int(emb.ID) != i+1 {
+			t.Fatalf("reply %d: embedded IP ID = %d, want %d", i, emb.ID, i+1)
+		}
+		if i == 0 && ip.Src != wantFrom[0] {
+			t.Fatalf("TTL=1 reply from %s, want the ToR", topology.FormatIP(ip.Src))
+		}
+		if i == 1 {
+			node, ok := r.topo.LookupIP(ip.Src)
+			if !ok || r.topo.Switches[node.ID].Tier != topology.TierT1 {
+				t.Fatalf("TTL=2 reply not from a T1 switch")
+			}
+		}
+	}
+}
+
+// The control-plane token bucket must cap ICMP generation at Tmax per
+// second per switch — Theorem 1's hard constraint, validated empirically
+// in Table 1.
+func TestICMPRateLimiting(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 5)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	tor := r.topo.Hosts[src].ToR
+	received := 0
+	r.net.OnHostPacket(src, func([]byte) { received++ })
+	// Blast 500 TTL=1 probes in one virtual second at one switch.
+	for i := 0; i < 500; i++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, uint16(40000+i), 443, 0, 1, 1))
+	}
+	r.sched.Drain(100000)
+	if got := r.net.ICMPSent[tor]; got > 100 {
+		t.Fatalf("switch sent %d ICMP in a burst, Tmax is 100", got)
+	}
+	if r.net.ICMPSuppressed[tor] < 390 {
+		t.Fatalf("suppressed = %d, want ~400", r.net.ICMPSuppressed[tor])
+	}
+	if received > 100 {
+		t.Fatalf("host received %d replies", received)
+	}
+	// The budget refills over time.
+	r.sched.RunUntil(r.sched.Now() + 2*des.Second)
+	for i := 0; i < 10; i++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, uint16(50000+i), 443, 0, 1, 1))
+	}
+	r.sched.Drain(10000)
+	if got := r.net.ICMPSent[tor]; got < 105 {
+		t.Fatalf("bucket did not refill: sent=%d", got)
+	}
+}
+
+func TestICMPSecondStats(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 6)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	for i := 0; i < 5; i++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, uint16(41000+i), 443, 0, 1, 1))
+	}
+	r.sched.Drain(1000)
+	zero, low, high, max := r.net.ICMPSecondStats(10)
+	if max > 5 || max < 1 {
+		t.Fatalf("max = %d", max)
+	}
+	if high != 0 && max <= 3 {
+		t.Fatalf("high fraction %v inconsistent with max %d", high, max)
+	}
+	if zero+low+high < 0.999 || zero+low+high > 1.001 {
+		t.Fatalf("fractions don't sum to 1: %v %v %v", zero, low, high)
+	}
+	if zero >= 1 {
+		t.Fatal("zero fraction should be below 1 after ICMP activity")
+	}
+}
+
+func TestNoICMPAboutICMP(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 7)
+	src := r.topo.HostAt(0, 0, 0)
+	// Hand-craft an ICMP packet with TTL=1: it must die silently.
+	buf := wire.NewBuffer(64)
+	ic := wire.ICMP{Type: wire.ICMPTypeEchoReply, Body: []byte{1, 2, 3, 4}}
+	ic.SerializeTo(buf)
+	ip := wire.IPv4{TTL: 1, Protocol: wire.ProtoICMP, Src: r.topo.Hosts[src].IP, Dst: r.topo.Hosts[r.topo.HostAt(0, 5, 0)].IP}
+	ip.SerializeTo(buf)
+	got := 0
+	r.net.OnHostPacket(src, func([]byte) { got++ })
+	r.net.SendFromHost(src, buf.Bytes())
+	r.sched.Drain(1000)
+	if got != 0 {
+		t.Fatal("received ICMP about ICMP")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty fabric config accepted")
+	}
+}
+
+// LAG (§4.2): one bad member of an aggregation bundle hurts only the flows
+// hashed onto it, and the logical L3 link stays the visible drop site.
+func TestLAGMemberFailure(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 8)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	link := r.topo.Hosts[src].Uplink
+	// Four members, one black-holed.
+	r.net.SetLAG(link, []float64{1.0, 0, 0, 0})
+
+	delivered, blocked := 0, 0
+	r.net.OnHostPacket(dst, func([]byte) { delivered++ })
+	const flows = 200
+	for i := 0; i < flows; i++ {
+		// One packet per flow: distinct headers hash to distinct members.
+		pkt := tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP,
+			uint16(42000+i), 443, 0, 64, 0)
+		before := delivered
+		r.net.SendFromHost(src, pkt)
+		r.sched.Drain(100)
+		if delivered == before {
+			blocked++
+		}
+	}
+	// Roughly a quarter of the flows should hit the dead member.
+	if blocked < flows/8 || blocked > flows/2 {
+		t.Fatalf("%d/%d flows black-holed, want ~1/4", blocked, flows)
+	}
+	if r.net.LinkDropped[link] != int64(blocked) {
+		t.Fatalf("drops attributed to the logical link: %d, want %d",
+			r.net.LinkDropped[link], blocked)
+	}
+	// A given flow is deterministic: always dead or always alive.
+	pkt := tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 42000, 443, 1, 64, 0)
+	base := delivered
+	for i := 0; i < 5; i++ {
+		r.net.SendFromHost(src, pkt)
+		r.sched.Drain(100)
+	}
+	got := delivered - base
+	if got != 0 && got != 5 {
+		t.Fatalf("flow pinning broken: %d/5 delivered", got)
+	}
+	// Clearing the LAG restores the plain link.
+	r.net.SetLAG(link, nil)
+	base = delivered
+	r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 42000, 443, 2, 64, 0))
+	r.sched.Drain(100)
+	if delivered != base+1 {
+		t.Fatal("clearing LAG did not restore delivery")
+	}
+}

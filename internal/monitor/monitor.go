@@ -1,0 +1,84 @@
+// Package monitor implements 007's TCP monitoring agent (§3): it consumes
+// retransmission events from the host's tracing bus (ETW/eBPF, package
+// etw), counts retransmissions per flow per epoch, and triggers path
+// discovery at most once per flow per epoch — the paper's first line of
+// defence for the traceroute budget.
+package monitor
+
+import (
+	"vigil/internal/ecmp"
+	"vigil/internal/etw"
+)
+
+// Agent is one host's monitoring agent.
+type Agent struct {
+	trigger func(flow ecmp.FiveTuple)
+
+	// RTTThresholdMicros, when positive, extends 007 to latency diagnosis
+	// (§9.2): a flow whose smoothed RTT crosses the threshold is treated
+	// as failed and triggers path discovery, so the voting scheme ranks
+	// the links responsible for the delay.
+	RTTThresholdMicros int64
+
+	epoch     int64
+	triggered map[ecmp.FiveTuple]int64 // flow → epoch of last trigger
+	retx      map[ecmp.FiveTuple]int   // flow → retransmissions this epoch
+	slow      map[ecmp.FiveTuple]bool  // flows over the RTT threshold
+}
+
+// New builds an agent; trigger is invoked (synchronously) the first time a
+// flow retransmits in an epoch — normally wired to the path discovery
+// agent.
+func New(trigger func(flow ecmp.FiveTuple)) *Agent {
+	return &Agent{
+		trigger:   trigger,
+		triggered: make(map[ecmp.FiveTuple]int64),
+		retx:      make(map[ecmp.FiveTuple]int),
+		slow:      make(map[ecmp.FiveTuple]bool),
+	}
+}
+
+// Attach subscribes the agent to a host event bus.
+func (a *Agent) Attach(bus *etw.Bus) {
+	bus.Subscribe(a.OnEvent)
+}
+
+// OnEvent handles one tracing event.
+func (a *Agent) OnEvent(e etw.Event) {
+	switch e.Kind {
+	case etw.Retransmit:
+		a.retx[e.Flow]++
+	case etw.RTTSample:
+		if a.RTTThresholdMicros <= 0 || e.SRTTMicros < a.RTTThresholdMicros {
+			return
+		}
+		a.slow[e.Flow] = true
+	default:
+		return
+	}
+	if a.triggered[e.Flow] == a.epoch+1 {
+		return // already traced this epoch
+	}
+	a.triggered[e.Flow] = a.epoch + 1
+	if a.trigger != nil {
+		a.trigger(e.Flow)
+	}
+}
+
+// Retx returns the number of retransmissions the flow has suffered in the
+// current epoch.
+func (a *Agent) Retx(flow ecmp.FiveTuple) int { return a.retx[flow] }
+
+// FlowsWithRetx returns how many distinct flows retransmitted this epoch.
+func (a *Agent) FlowsWithRetx() int { return len(a.retx) }
+
+// SlowFlows returns how many flows crossed the RTT threshold this epoch.
+func (a *Agent) SlowFlows() int { return len(a.slow) }
+
+// NewEpoch rolls the epoch: retransmission counts reset and every flow may
+// trigger one more path discovery.
+func (a *Agent) NewEpoch() {
+	a.epoch++
+	a.retx = make(map[ecmp.FiveTuple]int)
+	a.slow = make(map[ecmp.FiveTuple]bool)
+}

@@ -1,0 +1,72 @@
+package monitor
+
+import (
+	"testing"
+
+	"vigil/internal/ecmp"
+	"vigil/internal/etw"
+)
+
+func flow(port uint16) ecmp.FiveTuple {
+	return ecmp.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: port, DstPort: 443, Proto: ecmp.ProtoTCP}
+}
+
+func TestTriggerOncePerFlowPerEpoch(t *testing.T) {
+	var triggered []ecmp.FiveTuple
+	a := New(func(f ecmp.FiveTuple) { triggered = append(triggered, f) })
+	f1 := flow(1000)
+	for i := 0; i < 5; i++ {
+		a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: f1})
+	}
+	if len(triggered) != 1 {
+		t.Fatalf("triggered %d times for one flow in one epoch", len(triggered))
+	}
+	if a.Retx(f1) != 5 {
+		t.Fatalf("retx count = %d, want 5", a.Retx(f1))
+	}
+	// A second flow triggers independently.
+	a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: flow(1001)})
+	if len(triggered) != 2 {
+		t.Fatalf("second flow did not trigger")
+	}
+	if a.FlowsWithRetx() != 2 {
+		t.Fatalf("FlowsWithRetx = %d", a.FlowsWithRetx())
+	}
+}
+
+func TestNewEpochReopensTrigger(t *testing.T) {
+	n := 0
+	a := New(func(ecmp.FiveTuple) { n++ })
+	f := flow(2000)
+	a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: f})
+	a.NewEpoch()
+	if a.Retx(f) != 0 {
+		t.Fatal("retx count survived the epoch roll")
+	}
+	a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: f})
+	if n != 2 {
+		t.Fatalf("triggered %d times across two epochs, want 2", n)
+	}
+}
+
+func TestIgnoresNonRetransmitEvents(t *testing.T) {
+	n := 0
+	a := New(func(ecmp.FiveTuple) { n++ })
+	a.OnEvent(etw.Event{Kind: etw.ConnEstablished, Flow: flow(1)})
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: flow(1)})
+	a.OnEvent(etw.Event{Kind: etw.ConnClosed, Flow: flow(1)})
+	if n != 0 {
+		t.Fatal("non-retransmit events triggered discovery")
+	}
+}
+
+func TestAttachViaBus(t *testing.T) {
+	n := 0
+	a := New(func(ecmp.FiveTuple) { n++ })
+	var bus etw.Bus
+	a.Attach(&bus)
+	bus.Publish(etw.Event{Kind: etw.Retransmit, Flow: flow(3)})
+	if n != 1 {
+		t.Fatal("bus subscription not working")
+	}
+}

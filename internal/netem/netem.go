@@ -1,0 +1,249 @@
+// Package netem is the flow-level network simulator of the paper's §6
+// evaluation (the Go equivalent of the authors' MATLAB simulator [25]).
+//
+// Each epoch it generates flows, resolves their ECMP paths, and walks every
+// flow's packets down its path sampling per-link drops: link i sees only
+// the packets that survived links 1..i-1, and drops of them a
+// Binomial(survivors, rate_i) share. Good links drop at a noise rate drawn
+// uniformly from (0, 1e-6) by default; failed links at injected rates. The
+// simulator records complete ground truth — which link dropped how many of
+// which flow's packets — against which 007 and the optimization baselines
+// are scored.
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"vigil/internal/ecmp"
+	"vigil/internal/metrics"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// Config parametrizes a simulation.
+type Config struct {
+	Topo     *topology.Topology
+	Workload traffic.Workload
+	// NoiseLo/NoiseHi bound the per-link noise drop rate of good links;
+	// each good link's rate is drawn uniformly from [NoiseLo, NoiseHi).
+	// The paper's default is (0, 1e-6).
+	NoiseLo, NoiseHi float64
+	// TracerouteCap limits how many flows per host per epoch get their path
+	// discovered (the host-side Ct rate limit of Theorem 1, times the epoch
+	// length). 0 means unlimited. Flows over the cap still count as failed
+	// but produce no report, exactly like 007 past its ICMP budget (§9.1).
+	TracerouteCap int
+	// Seed fixes the noise-rate draw and all epoch randomness derivation.
+	Seed uint64
+}
+
+// Sim is a ready-to-run simulator. Failures are injected per directed link
+// and can be changed between epochs.
+type Sim struct {
+	cfg      Config
+	topo     *topology.Topology
+	router   *ecmp.Router
+	rng      *stats.RNG
+	noise    []float64 // per-link noise rate
+	rate     []float64 // per-link effective rate (noise or failure)
+	failures map[topology.LinkID]float64
+}
+
+// New builds a simulator, drawing per-link noise rates.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("netem: Config.Topo is required")
+	}
+	if cfg.NoiseHi < cfg.NoiseLo || cfg.NoiseLo < 0 {
+		return nil, fmt.Errorf("netem: bad noise range [%g,%g)", cfg.NoiseLo, cfg.NoiseHi)
+	}
+	if cfg.Workload.Pattern == nil {
+		cfg.Workload = traffic.DefaultWorkload()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	s := &Sim{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		router:   ecmp.NewRouter(cfg.Topo, ecmp.NewSeeds(cfg.Topo, rng.Split())),
+		rng:      rng,
+		noise:    make([]float64, len(cfg.Topo.Links)),
+		rate:     make([]float64, len(cfg.Topo.Links)),
+		failures: make(map[topology.LinkID]float64),
+	}
+	for i := range s.noise {
+		s.noise[i] = rng.Uniform(cfg.NoiseLo, cfg.NoiseHi)
+		s.rate[i] = s.noise[i]
+	}
+	return s, nil
+}
+
+// Topology returns the simulated topology.
+func (s *Sim) Topology() *topology.Topology { return s.topo }
+
+// Router returns the simulator's ECMP router.
+func (s *Sim) Router() *ecmp.Router { return s.router }
+
+// InjectFailure sets link l's drop rate, replacing its noise rate.
+func (s *Sim) InjectFailure(l topology.LinkID, rate float64) {
+	s.failures[l] = rate
+	s.rate[l] = rate
+}
+
+// ClearFailure restores link l to its noise rate.
+func (s *Sim) ClearFailure(l topology.LinkID) {
+	delete(s.failures, l)
+	s.rate[l] = s.noise[l]
+}
+
+// ClearAllFailures restores every link to its noise rate.
+func (s *Sim) ClearAllFailures() {
+	for l := range s.failures {
+		s.rate[l] = s.noise[l]
+		delete(s.failures, l)
+	}
+}
+
+// FailedLinks returns the injected failures, sorted by link for stability.
+func (s *Sim) FailedLinks() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(s.failures))
+	for l := range s.failures {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlowOutcome is the ground truth for one flow that lost packets.
+type FlowOutcome struct {
+	FlowID      int64 // matches the Report's FlowID
+	Flow        traffic.Flow
+	Path        []topology.LinkID
+	Drops       int      // total packets lost = retransmissions seen by TCP
+	DropsByLink []uint16 // aligned with Path
+	Culprit     topology.LinkID
+	// CrossedFailure records whether the path contains an injected failure:
+	// the flows for which ground truth attribution is meaningful (§7.2).
+	CrossedFailure bool
+	Traced         bool // false when the host's traceroute budget ran out
+}
+
+// Epoch is one 30-second simulation round.
+type Epoch struct {
+	// Failed lists every flow that lost at least one packet.
+	Failed []FlowOutcome
+	// Reports carries what 007's analysis agent receives: one report per
+	// failed flow whose path was discovered.
+	Reports []vote.Report
+	// LinkDrops is the ground-truth number of packets each link dropped.
+	LinkDrops map[topology.LinkID]int
+	// FailedLinks snapshots the injected failures during this epoch.
+	FailedLinks []topology.LinkID
+
+	TotalFlows   int
+	TotalPackets int
+	TotalDrops   int
+}
+
+// RunEpoch simulates one epoch.
+func (s *Sim) RunEpoch() *Epoch {
+	rng := s.rng.Split()
+	flows := s.cfg.Workload.Generate(rng, s.topo)
+	ep := &Epoch{
+		LinkDrops:   make(map[topology.LinkID]int),
+		FailedLinks: s.FailedLinks(),
+		TotalFlows:  len(flows),
+	}
+	budget := make(map[topology.HostID]int)
+	for fi, f := range flows {
+		path, err := s.router.Path(f.Src, f.Dst, f.Tuple)
+		if err != nil {
+			// Unreachable by construction; surface loudly if it happens.
+			panic(fmt.Sprintf("netem: routing %v: %v", f.Tuple, err))
+		}
+		ep.TotalPackets += f.Packets
+		surviving := f.Packets
+		var drops int
+		var perLink []uint16
+		for li, l := range path.Links {
+			if surviving == 0 {
+				break
+			}
+			d := rng.Binomial(surviving, s.rate[l])
+			if d == 0 {
+				continue
+			}
+			if perLink == nil {
+				perLink = make([]uint16, len(path.Links))
+			}
+			perLink[li] = uint16(d)
+			ep.LinkDrops[l] += d
+			surviving -= d
+			drops += d
+		}
+		if drops == 0 {
+			continue
+		}
+		ep.TotalDrops += drops
+		out := FlowOutcome{
+			FlowID:      int64(fi),
+			Flow:        f,
+			Path:        path.Links,
+			Drops:       drops,
+			DropsByLink: perLink,
+			Culprit:     culprit(path.Links, perLink),
+			Traced:      true,
+		}
+		for _, l := range path.Links {
+			if _, bad := s.failures[l]; bad {
+				out.CrossedFailure = true
+				break
+			}
+		}
+		if s.cfg.TracerouteCap > 0 {
+			if budget[f.Src] >= s.cfg.TracerouteCap {
+				out.Traced = false
+			} else {
+				budget[f.Src]++
+			}
+		}
+		if out.Traced {
+			ep.Reports = append(ep.Reports, vote.Report{
+				FlowID: int64(fi),
+				Src:    f.Src, Dst: f.Dst,
+				Path: path.Links,
+				Retx: drops,
+			})
+		}
+		ep.Failed = append(ep.Failed, out)
+	}
+	return ep
+}
+
+// Truth builds the ground-truth map that package metrics scores against.
+func (ep *Epoch) Truth() map[int64]metrics.FlowTruth {
+	m := make(map[int64]metrics.FlowTruth, len(ep.Failed))
+	for _, f := range ep.Failed {
+		m[f.FlowID] = metrics.FlowTruth{
+			Culprit:        f.Culprit,
+			CrossedFailure: f.CrossedFailure,
+		}
+	}
+	return m
+}
+
+// culprit returns the link that dropped the most of the flow's packets,
+// ties broken toward the earlier link (it saw the packet first).
+func culprit(path []topology.LinkID, perLink []uint16) topology.LinkID {
+	best := topology.NoLink
+	var bestDrops uint16
+	for i, d := range perLink {
+		if d > bestDrops {
+			bestDrops = d
+			best = path[i]
+		}
+	}
+	return best
+}

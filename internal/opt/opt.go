@@ -1,0 +1,213 @@
+// Package opt implements the optimization-based baselines of §5.3 that the
+// paper benchmarks 007 against.
+//
+// The binary program (3) finds the smallest set of links explaining every
+// failed flow — minimum set cover, NP-hard. We provide the greedy
+// approximation (Algorithm 2, equivalent to MAX COVERAGE and Tomo) and an
+// exact branch-and-bound solver standing in for the paper's MILP solver on
+// the instance sizes where exact solutions are tractable.
+//
+// The integer program (4) additionally assigns a per-link drop count,
+// producing the ranking the paper's "integer optimization" curves use. We
+// solve it greedily and tighten with local search; tests cross-check the
+// solvers against brute force on small instances.
+package opt
+
+import (
+	"sort"
+
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+// Instance is one epoch's localization problem: the failed flows (rows of
+// the routing matrix A restricted to s=1) and the candidate links (columns
+// touched by at least one failed path).
+type Instance struct {
+	Links   []topology.LinkID // candidate universe
+	linkIdx map[topology.LinkID]int
+	paths   [][]int // per flow: indices into Links
+	demand  []int   // per flow: retransmission count c_i (>= 1)
+	byLink  [][]int // per link: flow indices through it
+}
+
+// BuildInstance constructs the problem from 007's reports. Reports with
+// empty paths are ignored (they constrain nothing).
+func BuildInstance(reports []vote.Report) *Instance {
+	in := &Instance{linkIdx: make(map[topology.LinkID]int)}
+	for _, r := range reports {
+		if len(r.Path) == 0 {
+			continue
+		}
+		path := make([]int, len(r.Path))
+		for i, l := range r.Path {
+			idx, ok := in.linkIdx[l]
+			if !ok {
+				idx = len(in.Links)
+				in.linkIdx[l] = idx
+				in.Links = append(in.Links, l)
+				in.byLink = append(in.byLink, nil)
+			}
+			path[i] = idx
+			in.byLink[idx] = append(in.byLink[idx], len(in.paths))
+		}
+		d := r.Retx
+		if d < 1 {
+			d = 1
+		}
+		in.paths = append(in.paths, path)
+		in.demand = append(in.demand, d)
+	}
+	return in
+}
+
+// Flows returns the number of failed flows in the instance.
+func (in *Instance) Flows() int { return len(in.paths) }
+
+// SolveBinaryGreedy is Algorithm 2: repeatedly pick the link explaining the
+// most still-unexplained failures. This is the greedy set cover used by
+// MAX COVERAGE and Tomo [10, 11].
+func (in *Instance) SolveBinaryGreedy() []topology.LinkID {
+	covered := make([]bool, len(in.paths))
+	remaining := len(in.paths)
+	var out []topology.LinkID
+	for remaining > 0 {
+		best, bestCover := -1, 0
+		for li := range in.Links {
+			c := 0
+			for _, fi := range in.byLink[li] {
+				if !covered[fi] {
+					c++
+				}
+			}
+			if c > bestCover {
+				best, bestCover = li, c
+			}
+		}
+		if best < 0 {
+			break // unexplainable flows (empty paths filtered earlier)
+		}
+		out = append(out, in.Links[best])
+		for _, fi := range in.byLink[best] {
+			if !covered[fi] {
+				covered[fi] = true
+				remaining--
+			}
+		}
+	}
+	sortLinks(out)
+	return out
+}
+
+// SolveBinaryExact solves the binary program exactly by branch and bound,
+// exploring at most maxNodes search nodes. It returns the optimal cover and
+// true, or the greedy solution and false when the node budget runs out —
+// mirroring how the paper falls back from the MILP at scale.
+func (in *Instance) SolveBinaryExact(maxNodes int) ([]topology.LinkID, bool) {
+	greedy := in.SolveBinaryGreedy()
+	if len(in.paths) == 0 {
+		return nil, true
+	}
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	bb := &coverSearch{in: in, bestSize: len(greedy), budget: maxNodes}
+	bb.best = make([]int, 0, len(greedy))
+	covered := make([]int, len(in.paths)) // cover multiplicity per flow
+	bb.search(covered, len(in.paths), nil)
+	if bb.exhausted {
+		return greedy, false
+	}
+	out := make([]topology.LinkID, len(bb.best))
+	for i, li := range bb.best {
+		out[i] = in.Links[li]
+	}
+	sortLinks(out)
+	return out, true
+}
+
+type coverSearch struct {
+	in        *Instance
+	best      []int
+	bestSize  int
+	found     bool
+	budget    int
+	exhausted bool
+}
+
+func (s *coverSearch) search(covered []int, uncovered int, chosen []int) {
+	if s.budget <= 0 {
+		s.exhausted = true
+		return
+	}
+	s.budget--
+	if uncovered == 0 {
+		if len(chosen) < s.bestSize || !s.found {
+			s.bestSize = len(chosen)
+			s.best = append(s.best[:0], chosen...)
+			s.found = true
+		}
+		return
+	}
+	// Lower bound: even the widest link covers at most maxCover new flows.
+	maxCover := 0
+	for li := range s.in.Links {
+		c := 0
+		for _, fi := range s.in.byLink[li] {
+			if covered[fi] == 0 {
+				c++
+			}
+		}
+		if c > maxCover {
+			maxCover = c
+		}
+	}
+	if maxCover == 0 {
+		return
+	}
+	need := (uncovered + maxCover - 1) / maxCover
+	if len(chosen)+need > s.bestSize || (len(chosen)+need == s.bestSize && s.found) {
+		return
+	}
+	// Branch on the hardest flow: fewest candidate links.
+	pick, pickDeg := -1, int(^uint(0)>>1)
+	for fi, c := range covered {
+		if c > 0 {
+			continue
+		}
+		deg := len(s.in.paths[fi])
+		if deg < pickDeg {
+			pick, pickDeg = fi, deg
+		}
+	}
+	// Try that flow's links, widest coverage first.
+	cands := append([]int(nil), s.in.paths[pick]...)
+	sort.Slice(cands, func(a, b int) bool {
+		return len(s.in.byLink[cands[a]]) > len(s.in.byLink[cands[b]])
+	})
+	seen := make(map[int]bool, len(cands))
+	for _, li := range cands {
+		if seen[li] {
+			continue
+		}
+		seen[li] = true
+		newly := 0
+		for _, fi := range s.in.byLink[li] {
+			if covered[fi] == 0 {
+				newly++
+			}
+			covered[fi]++
+		}
+		s.search(covered, uncovered-newly, append(chosen, li))
+		for _, fi := range s.in.byLink[li] {
+			covered[fi]--
+		}
+		if s.exhausted {
+			return
+		}
+	}
+}
+
+func sortLinks(ls []topology.LinkID) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+}

@@ -1,0 +1,283 @@
+// Package pathdisc implements 007's path discovery agent (§4): when the
+// monitoring agent reports a retransmitting flow, it resolves the flow's
+// DIP through the SLB, then emits 15 crafted TCP probes with TTLs 1-15 that
+// carry the flow's exact five-tuple (so ECMP hashes them onto the data
+// path), the TTL echoed in the IP ID field (so concurrent traceroutes
+// disambiguate), and a deliberately bad TCP checksum (so the destination
+// stack ignores them). ICMP time-exceeded replies are matched back to
+// probes and assembled into a link-level path; partial traceroutes — the
+// probe itself died on the faulty link — are reported as such and still
+// vote on their prefix.
+//
+// Two rate limits protect the switch control planes (§4.1): the per-host
+// Ct bound from Theorem 1 enforced here, and the per-switch Tmax token
+// bucket enforced by the fabric.
+package pathdisc
+
+import (
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/slb"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+	"vigil/internal/wire"
+)
+
+// MaxTTL is the deepest hop probed; a Clos host path has at most 5
+// switches, the paper sends 15 probes to be safe.
+const MaxTTL = 15
+
+// Config assembles an agent for one host.
+type Config struct {
+	Topo *topology.Topology
+	Host topology.HostID
+	// SLB resolves VIP flows to DIPs; may be nil when the workload
+	// addresses DIPs directly (infrastructure traffic).
+	SLB *slb.SLB
+	// Send injects a serialized probe onto the host's uplink.
+	Send func(data []byte)
+	// Sched provides virtual time for probe timeouts and rate limiting.
+	Sched *des.Scheduler
+	// Ct is the host traceroute budget in traceroutes/second (Theorem 1);
+	// zero disables the limit.
+	Ct float64
+	// ProbesPerTTL sends redundant probes per hop (default 2, like
+	// classical traceroute's retries): the probe tracing a lossy link is
+	// itself exposed to that link's drop rate, and a lost critical probe
+	// truncates the path. Duplicate replies are idempotent.
+	ProbesPerTTL int
+	// ProbeTimeout is how long to wait for ICMP replies before assembling
+	// the path; zero means 20ms (datacenter RTTs are well under 2ms).
+	ProbeTimeout des.Time
+	// OnReport receives the finished path report.
+	OnReport func(r vote.Report)
+	// Retx returns the flow's current retransmission count (wired to the
+	// monitoring agent) at report-assembly time.
+	Retx func(flow ecmp.FiveTuple) int
+	// FlowID optionally supplies stable flow identifiers (for scoring
+	// against ground truth); when nil the agent numbers traces itself.
+	FlowID func(flow ecmp.FiveTuple) int64
+}
+
+// Agent is one host's path discovery agent.
+type Agent struct {
+	cfg Config
+
+	nextFlowID int64
+	epoch      int64
+	// cache remembers flows already traced this epoch ("the agent triggers
+	// path discovery for a given connection no more than once every
+	// epoch", §4.1).
+	cache map[ecmp.FiveTuple]int64
+
+	pending map[probeKey]*trace
+
+	tokens     float64
+	lastRefill des.Time
+
+	// Stats.
+	Traces       int64 // traceroutes launched
+	RateLimited  int64 // discoveries skipped by the Ct budget
+	SLBFailures  int64 // discoveries skipped because the DIP query failed
+	PartialPaths int64
+}
+
+// probeKey matches an ICMP reply's embedded probe back to its traceroute:
+// the probe's destination and ports identify the flow (the source is this
+// host).
+type probeKey struct {
+	dst     uint32
+	srcPort uint16
+	dstPort uint16
+}
+
+type trace struct {
+	flow  ecmp.FiveTuple // DIP-rewritten tuple actually probed
+	orig  ecmp.FiveTuple // as seen by TCP (may carry the VIP)
+	hops  [MaxTTL + 1]uint32
+	maxID int
+}
+
+// New builds the agent.
+func New(cfg Config) *Agent {
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 20 * des.Millisecond
+	}
+	if cfg.ProbesPerTTL <= 0 {
+		cfg.ProbesPerTTL = 2
+	}
+	return &Agent{
+		cfg:     cfg,
+		cache:   make(map[ecmp.FiveTuple]int64),
+		pending: make(map[probeKey]*trace),
+		tokens:  cfg.Ct, // start with one second of budget
+	}
+}
+
+// NewEpoch resets the per-epoch trace cache.
+func (a *Agent) NewEpoch() {
+	a.epoch++
+	a.cache = make(map[ecmp.FiveTuple]int64)
+}
+
+// Discover traces the path of flow (as seen by TCP, possibly VIP-bound).
+// It silently skips when the flow was already traced this epoch, the Ct
+// budget is exhausted, or the SLB query fails.
+func (a *Agent) Discover(flow ecmp.FiveTuple) {
+	if a.cache[flow] == a.epoch+1 {
+		return
+	}
+	a.cache[flow] = a.epoch + 1
+	if !a.allow() {
+		a.RateLimited++
+		return
+	}
+	probed := flow
+	if a.cfg.SLB != nil && a.cfg.SLB.IsVIP(flow.DstIP) {
+		dip, ok := a.cfg.SLB.QuerySLB(slb.FlowKey{
+			SrcIP: flow.SrcIP, SrcPort: flow.SrcPort,
+			VIP: flow.DstIP, VIPPort: flow.DstPort,
+		})
+		if !ok {
+			a.SLBFailures++
+			return // never traceroute toward an unresolved VIP (§4.2)
+		}
+		probed.DstIP = a.cfg.Topo.Hosts[dip].IP
+	}
+	a.Traces++
+	tr := &trace{flow: probed, orig: flow}
+	a.pending[probeKey{dst: probed.DstIP, srcPort: probed.SrcPort, dstPort: probed.DstPort}] = tr
+	for ttl := 1; ttl <= MaxTTL; ttl++ {
+		for i := 0; i < a.cfg.ProbesPerTTL; i++ {
+			a.cfg.Send(buildProbe(probed, uint8(ttl)))
+		}
+	}
+	a.cfg.Sched.After(a.cfg.ProbeTimeout, func() { a.finish(tr) })
+}
+
+// buildProbe crafts one traceroute packet: the flow's five-tuple, the TTL
+// echoed in the IP ID, and a bad TCP checksum.
+func buildProbe(flow ecmp.FiveTuple, ttl uint8) []byte {
+	buf := wire.NewBuffer(wire.IPv4HeaderLen + wire.TCPHeaderLen)
+	tcp := wire.TCP{
+		SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+		Flags: wire.FlagACK, Window: 1, BadChecksum: true,
+	}
+	ip := wire.IPv4{
+		ID: uint16(ttl), TTL: ttl, Protocol: wire.ProtoTCP,
+		Src: flow.SrcIP, Dst: flow.DstIP,
+	}
+	tcp.SerializeTo(buf, &ip)
+	ip.SerializeTo(buf)
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+// HandleICMP feeds the agent an ICMP message received by the host. It
+// returns true when the message matched one of this agent's traceroutes.
+func (a *Agent) HandleICMP(from uint32, ic *wire.ICMP) bool {
+	if ic.Type != wire.ICMPTypeTimeExceeded {
+		return false
+	}
+	emb, srcPort, dstPort, hasPorts, err := wire.ExpiredProbe(ic.Body)
+	if err != nil || !hasPorts {
+		return false
+	}
+	tr, ok := a.pending[probeKey{dst: emb.Dst, srcPort: srcPort, dstPort: dstPort}]
+	if !ok {
+		return false
+	}
+	ttl := int(emb.ID) // the encoded probe TTL
+	if ttl < 1 || ttl > MaxTTL {
+		return false
+	}
+	tr.hops[ttl] = from
+	if ttl > tr.maxID {
+		tr.maxID = ttl
+	}
+	return true
+}
+
+// finish assembles the trace into a vote.Report.
+func (a *Agent) finish(tr *trace) {
+	delete(a.pending, probeKey{dst: tr.flow.DstIP, srcPort: tr.flow.SrcPort, dstPort: tr.flow.DstPort})
+	topo := a.cfg.Topo
+	a.nextFlowID++
+
+	r := vote.Report{
+		FlowID: int64(a.cfg.Host)<<32 | a.nextFlowID,
+		Src:    a.cfg.Host,
+		Retx:   1,
+	}
+	if a.cfg.FlowID != nil {
+		r.FlowID = a.cfg.FlowID(tr.orig)
+	}
+	if a.cfg.Retx != nil {
+		if n := a.cfg.Retx(tr.orig); n > 0 {
+			r.Retx = n
+		}
+	}
+
+	// Contiguous prefix of answering hops.
+	var switches []topology.SwitchID
+	for ttl := 1; ttl <= tr.maxID; ttl++ {
+		node, ok := topo.LookupIP(tr.hops[ttl])
+		if !ok || node.Kind != topology.NodeSwitch {
+			break
+		}
+		switches = append(switches, topology.SwitchID(node.ID))
+	}
+	prev := topology.HostNode(a.cfg.Host)
+	adjacent := true
+	for _, sw := range switches {
+		l, ok := topo.LinkBetween(prev, topology.SwitchNode(sw))
+		if !ok {
+			adjacent = false
+			break // non-adjacent hop: path changed mid-trace, keep prefix
+		}
+		r.Path = append(r.Path, l)
+		prev = topology.SwitchNode(sw)
+	}
+	// The trace is complete when the answering switches form an adjacent
+	// chain ending at the destination's ToR; the final host downlink is
+	// then known without probing it.
+	complete := false
+	if dstNode, ok := topo.LookupIP(tr.flow.DstIP); ok && dstNode.Kind == topology.NodeHost {
+		dst := topology.HostID(dstNode.ID)
+		r.Dst = dst
+		if adjacent && len(switches) > 0 && switches[len(switches)-1] == topo.Hosts[dst].ToR {
+			if l, ok := topo.LinkBetween(prev, topology.HostNode(dst)); ok {
+				r.Path = append(r.Path, l)
+				complete = true
+			}
+		}
+	}
+	if !complete {
+		// Did not reach the destination rack: partial traceroute. The
+		// analysis engine still uses the prefix (§4.2).
+		r.Partial = true
+		a.PartialPaths++
+	}
+	if a.cfg.OnReport != nil {
+		a.cfg.OnReport(r)
+	}
+}
+
+// allow enforces the Ct traceroute budget.
+func (a *Agent) allow() bool {
+	if a.cfg.Ct <= 0 {
+		return true
+	}
+	now := a.cfg.Sched.Now()
+	a.tokens += float64(now-a.lastRefill) / float64(des.Second) * a.cfg.Ct
+	a.lastRefill = now
+	if burst := a.cfg.Ct; a.tokens > burst {
+		a.tokens = burst
+	}
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderASCII(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-long-name", 0.000001)
+	var buf bytes.Buffer
+	if err := tab.RenderASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00e-06") {
+		t.Fatalf("tiny float not in scientific notation:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows... title+3
+		// title + header + sep + 2 rows = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tab.AddRow(1, "x,y") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# t\n") || !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		0.00005: "5.00e-05",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

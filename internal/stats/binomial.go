@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// Binomial returns a sample from Binomial(n, p): the number of packets (out
+// of n) dropped by a link with drop probability p.
+//
+// Datacenter drop rates are tiny (1e-8 .. 1e-2), so the expected count n*p is
+// usually far below one. The sampler therefore uses geometric skipping —
+// O(n*p + 1) expected work — instead of n Bernoulli trials, falling back to
+// inversion only when p is large.
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if p > 0.5 {
+		// Symmetry keeps the skip distances long.
+		return n - r.Binomial(n, 1-p)
+	}
+	lq := math.Log1p(-p) // log(1-p), negative
+	count := 0
+	i := 0
+	for {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		skip := int(math.Log(u) / lq) // failures before next success
+		i += skip + 1
+		if i > n {
+			return count
+		}
+		count++
+	}
+}
+
+// BinomialExact draws Binomial(n, p) with n independent Bernoulli trials.
+// It exists as a reference implementation for tests of Binomial.
+func (r *RNG) BinomialExact(n int, p float64) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(p) {
+			count++
+		}
+	}
+	return count
+}

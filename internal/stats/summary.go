@@ -1,0 +1,63 @@
+package stats
+
+import "math"
+
+// Summary holds the mean and a 95% confidence half-width of a sample set,
+// the form in which the paper reports repeated-seed experiment results.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation
+	CI95 float64 // 95% confidence half-width (normal approximation)
+}
+
+// Summarize computes a Summary of vs. An empty slice yields a zero Summary.
+func Summarize(vs []float64) Summary {
+	n := len(vs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range vs {
+		d := v - mean
+		ss += d * d
+	}
+	s := Summary{N: n, Mean: mean}
+	if n > 1 {
+		s.Std = math.Sqrt(ss / float64(n-1))
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(n))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of vs (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// BernoulliKL returns the Kullback-Leibler divergence D(q || r) between two
+// Bernoulli distributions with success probabilities q and r, in nats.
+// It is the exponent of the large-deviation bound in Theorem 2 (eq. 9).
+func BernoulliKL(q, r float64) float64 {
+	switch {
+	case q < 0 || q > 1 || r <= 0 || r >= 1:
+		return math.Inf(1)
+	case q == 0:
+		return -math.Log1p(-r)
+	case q == 1:
+		return -math.Log(r)
+	}
+	return q*math.Log(q/r) + (1-q)*math.Log((1-q)/(1-r))
+}

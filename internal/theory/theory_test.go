@@ -1,0 +1,171 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"vigil/internal/topology"
+)
+
+func TestCtBoundHandComputed(t *testing.T) {
+	// Default sim topology: n0=20, n1=20, n2=8, npod=2, H=24, Tmax=100.
+	// min[n1, n2(n0·npod−1)/(n0(npod−1))] = min[20, 8·39/20] = 15.6.
+	// Ct ≤ 100/(20·24)·15.6 = 3.25.
+	got := CtBound(topology.DefaultSimConfig, 100)
+	if math.Abs(got-3.25) > 1e-12 {
+		t.Fatalf("CtBound = %v, want 3.25", got)
+	}
+}
+
+func TestCtBoundSinglePod(t *testing.T) {
+	// One pod: only the n1 term. Ct ≤ 100/(10·4)·4 = 10.
+	got := CtBound(topology.TestClusterConfig, 100)
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("CtBound = %v, want 10", got)
+	}
+}
+
+func TestCtBoundScalesWithTmax(t *testing.T) {
+	a := CtBound(topology.DefaultSimConfig, 100)
+	b := CtBound(topology.DefaultSimConfig, 200)
+	if math.Abs(b-2*a) > 1e-12 {
+		t.Fatalf("CtBound not linear in Tmax: %v vs %v", a, b)
+	}
+}
+
+func TestMaxBadLinks(t *testing.T) {
+	// n2(n0·npod−1)/(n0(npod−1)) = 8·39/20 = 15.6.
+	if got := MaxBadLinks(topology.DefaultSimConfig); math.Abs(got-15.6) > 1e-12 {
+		t.Fatalf("MaxBadLinks = %v, want 15.6", got)
+	}
+	if got := MaxBadLinks(topology.TestClusterConfig); got != 160 {
+		t.Fatalf("single-pod MaxBadLinks = %v, want all links", got)
+	}
+}
+
+func TestAlphaHandComputed(t *testing.T) {
+	// k=1: α = 20(80−1)(1) / (8·39 − 20·1) = 1580/292 ≈ 5.411.
+	got := Alpha(topology.DefaultSimConfig, 1)
+	if math.Abs(got-1580.0/292.0) > 1e-12 {
+		t.Fatalf("Alpha = %v, want %v", got, 1580.0/292.0)
+	}
+}
+
+func TestAlphaMonotoneInK(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	prev := Alpha(cfg, 0)
+	for k := 1; k < 39; k++ {
+		a := Alpha(cfg, k)
+		if a < prev {
+			t.Fatalf("Alpha(k=%d)=%v < Alpha(k=%d)=%v; more failures should need more signal", k, a, k-1, prev)
+		}
+		prev = a
+	}
+	if !math.IsInf(Alpha(cfg, 39), 1) {
+		t.Fatal("Alpha at the k cap should be +Inf")
+	}
+}
+
+func TestRetxProb(t *testing.T) {
+	if RetxProb(0, 100) != 0 || RetxProb(1, 5) != 1 || RetxProb(0.5, 0) != 0 {
+		t.Fatal("RetxProb edge cases wrong")
+	}
+	// 1 − 0.995^100 ≈ 0.3942.
+	if got := RetxProb(0.005, 100); math.Abs(got-0.39423) > 1e-4 {
+		t.Fatalf("RetxProb(0.005,100) = %v", got)
+	}
+	// Monotone in both arguments.
+	if RetxProb(0.01, 10) >= RetxProb(0.01, 100) || RetxProb(0.001, 50) >= RetxProb(0.01, 50) {
+		t.Fatal("RetxProb not monotone")
+	}
+}
+
+// The paper's §5.2 worked example: with pb ≥ 0.05% the tolerable noise
+// is on the order of 1e-6 — far above real datacenter noise (1e-8).
+func TestPgBoundPaperExample(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	pg := PgBound(cfg, 1, 0.0005, 10, 90)
+	if pg < 1e-7 || pg > 1e-4 {
+		t.Fatalf("PgBound = %v, want order 1e-6..1e-5", pg)
+	}
+	if pg <= 1e-8 {
+		t.Fatal("bound should comfortably exceed production noise rates")
+	}
+}
+
+func TestPgBoundMonotoneInPb(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	if PgBound(cfg, 2, 0.001, 10, 90) >= PgBound(cfg, 2, 0.01, 10, 90) {
+		t.Fatal("worse failures should tolerate more noise")
+	}
+}
+
+func TestConditions(t *testing.T) {
+	if ok, v := Conditions(topology.DefaultSimConfig, 5); !ok {
+		t.Fatalf("default sim config should satisfy Theorem 3: %v", v)
+	}
+	// n0 < n2 violates.
+	bad := topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 4, T2: 8, HostsPerToR: 4}
+	if ok, _ := Conditions(bad, 1); ok {
+		t.Fatal("n0 < n2 accepted")
+	}
+	// k at the cap violates.
+	if ok, _ := Conditions(topology.DefaultSimConfig, 40); ok {
+		t.Fatal("k beyond the cap accepted")
+	}
+	// Too few pods: npod=2 but n0/n1 = 20/2 = 10 needs npod >= 11.
+	few := topology.Config{Pods: 2, ToRsPerPod: 20, T1PerPod: 2, T2: 10, HostsPerToR: 4}
+	if ok, _ := Conditions(few, 1); ok {
+		t.Fatal("insufficient pods accepted")
+	}
+}
+
+func TestVoteProbBounds(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	vb, vg := VoteProbBounds(cfg, 0.4, 1e-4, 1)
+	if vb <= 0 || vg <= 0 {
+		t.Fatalf("bounds not positive: %v %v", vb, vg)
+	}
+	// With rb >> rg the separation must hold — this is what makes 007 work.
+	if vb <= vg {
+		t.Fatalf("vb bound %v not above vg bound %v", vb, vg)
+	}
+	// vb ≥ rb/(n0·n1·npod) = 0.4/800 = 5e-4.
+	if math.Abs(vb-5e-4) > 1e-15 {
+		t.Fatalf("vb = %v, want 5e-4", vb)
+	}
+}
+
+func TestEpsilonBoundDecaysExponentially(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	vb, vg := VoteProbBounds(cfg, 0.4, 1e-4, 1)
+	e1 := EpsilonBound(10000, vg, vb, 0)
+	e2 := EpsilonBound(20000, vg, vb, 0)
+	e3 := EpsilonBound(40000, vg, vb, 0)
+	if !(e1 > e2 && e2 > e3) {
+		t.Fatalf("epsilon not decreasing: %v %v %v", e1, e2, e3)
+	}
+	// Doubling N should at least square the bound (up to the additive mix):
+	// check log-linear decay within slack.
+	if e3 > e2*e2*10 {
+		t.Fatalf("decay slower than exponential: e2=%v e3=%v", e2, e3)
+	}
+	// Degenerate: no separation.
+	if EpsilonBound(1000, 0.5, 0.4, 0) != 1 {
+		t.Fatal("vb <= vg should give the trivial bound")
+	}
+}
+
+func TestEpsilonBoundExplicitDelta(t *testing.T) {
+	cfg := topology.DefaultSimConfig
+	vb, vg := VoteProbBounds(cfg, 0.4, 1e-4, 1)
+	mid := (vb - vg) / (vb + vg) / 2
+	e := EpsilonBound(50000, vg, vb, mid)
+	opt := EpsilonBound(50000, vg, vb, 0)
+	if e < opt-1e-12 {
+		t.Fatalf("optimizer worse than a fixed delta: %v vs %v", opt, e)
+	}
+	if e <= 0 || e > 1 {
+		t.Fatalf("epsilon out of range: %v", e)
+	}
+}

@@ -1,0 +1,281 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSimConfigLinkCount(t *testing.T) {
+	// The paper's §6 simulator: "4160 links, 2 pods, and 20 ToRs per pod".
+	if got := DefaultSimConfig.DirectedLinks(); got != 4160 {
+		t.Fatalf("DefaultSimConfig.DirectedLinks() = %d, want 4160", got)
+	}
+}
+
+func TestTestClusterConfigLinkCount(t *testing.T) {
+	// §7 test cluster: 80 physical links = 160 directed.
+	if got := TestClusterConfig.DirectedLinks(); got != 160 {
+		t.Fatalf("TestClusterConfig.DirectedLinks() = %d, want 160", got)
+	}
+}
+
+func TestBuildMatchesClosedForms(t *testing.T) {
+	cfgs := []Config{
+		DefaultSimConfig,
+		TestClusterConfig,
+		{Pods: 1, ToRsPerPod: 2, T1PerPod: 2, T2: 2, HostsPerToR: 2},
+		{Pods: 4, ToRsPerPod: 8, T1PerPod: 4, T2: 8, HostsPerToR: 8},
+	}
+	for _, cfg := range cfgs {
+		topo, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		if got, want := len(topo.Links), cfg.DirectedLinks(); got != want {
+			t.Errorf("%+v: %d links, want %d", cfg, got, want)
+		}
+		if got, want := len(topo.Hosts), cfg.Hosts(); got != want {
+			t.Errorf("%+v: %d hosts, want %d", cfg, got, want)
+		}
+		wantSw := cfg.Pods*(cfg.ToRsPerPod+cfg.T1PerPod) + cfg.T2
+		if got := len(topo.Switches); got != wantSw {
+			t.Errorf("%+v: %d switches, want %d", cfg, got, wantSw)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Pods: 0, ToRsPerPod: 1, T1PerPod: 1, T2: 1, HostsPerToR: 1},
+		{Pods: 2, ToRsPerPod: 1, T1PerPod: 1, T2: 0, HostsPerToR: 1}, // multi-pod needs T2
+		{Pods: 1, ToRsPerPod: 0, T1PerPod: 1, T2: 1, HostsPerToR: 1},
+		{Pods: 1, ToRsPerPod: 1, T1PerPod: 0, T2: 1, HostsPerToR: 1},
+		{Pods: 1, ToRsPerPod: 1, T1PerPod: 1, T2: 1, HostsPerToR: 0},
+		{Pods: 300, ToRsPerPod: 1, T1PerPod: 1, T2: 1, HostsPerToR: 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+	if err := (Config{Pods: 1, ToRsPerPod: 4, T1PerPod: 2, T2: 0, HostsPerToR: 2}).Validate(); err != nil {
+		t.Errorf("single-pod config without T2 should validate: %v", err)
+	}
+}
+
+func TestReverseLinks(t *testing.T) {
+	topo, err := New(DefaultSimConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range topo.Links {
+		r := topo.Links[l.Reverse]
+		if r.Reverse != l.ID {
+			t.Fatalf("link %d: reverse of reverse is %d", l.ID, r.Reverse)
+		}
+		if r.From != l.To || r.To != l.From {
+			t.Fatalf("link %d: reverse endpoints mismatch", l.ID)
+		}
+	}
+}
+
+func TestLinkClassCounts(t *testing.T) {
+	cfg := DefaultSimConfig
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[LinkClass]int{
+		HostUp:   cfg.Pods * cfg.ToRsPerPod * cfg.HostsPerToR,
+		HostDown: cfg.Pods * cfg.ToRsPerPod * cfg.HostsPerToR,
+		L1Up:     cfg.Pods * cfg.ToRsPerPod * cfg.T1PerPod,
+		L1Down:   cfg.Pods * cfg.ToRsPerPod * cfg.T1PerPod,
+		L2Up:     cfg.Pods * cfg.T1PerPod * cfg.T2,
+		L2Down:   cfg.Pods * cfg.T1PerPod * cfg.T2,
+	}
+	for class, n := range want {
+		if got := len(topo.LinksOfClass(class)); got != n {
+			t.Errorf("class %v: %d links, want %d", class, got, n)
+		}
+	}
+}
+
+func TestAdjacencyConsistency(t *testing.T) {
+	topo, err := New(Config{Pods: 3, ToRsPerPod: 4, T1PerPod: 3, T2: 5, HostsPerToR: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range topo.Switches {
+		for j, id := range sw.Uplinks {
+			l := topo.Links[id]
+			if l.From != SwitchNode(sw.ID) {
+				t.Fatalf("%s uplink %d does not originate at the switch", sw.Name, j)
+			}
+			peer := topo.Switches[l.To.ID]
+			if peer.Index != j {
+				t.Fatalf("%s uplink %d reaches index %d", sw.Name, j, peer.Index)
+			}
+			if peer.Tier != sw.Tier+1 {
+				t.Fatalf("%s uplink reaches tier %v", sw.Name, peer.Tier)
+			}
+		}
+		for i, id := range sw.Downlinks {
+			l := topo.Links[id]
+			if l.From != SwitchNode(sw.ID) {
+				t.Fatalf("%s downlink %d does not originate at the switch", sw.Name, i)
+			}
+			switch sw.Tier {
+			case TierToR:
+				if l.To.Kind != NodeHost {
+					t.Fatalf("%s downlink %d is not a host link", sw.Name, i)
+				}
+			case TierT1:
+				peer := topo.Switches[l.To.ID]
+				if peer.Tier != TierToR || peer.Pod != sw.Pod || peer.Index != i {
+					t.Fatalf("%s downlink %d reaches %s", sw.Name, i, peer.Name)
+				}
+			case TierT2:
+				peer := topo.Switches[l.To.ID]
+				pod, j := i/topo.Cfg.T1PerPod, i%topo.Cfg.T1PerPod
+				if peer.Tier != TierT1 || peer.Pod != pod || peer.Index != j {
+					t.Fatalf("%s downlink %d reaches %s, want t1-p%d-%d", sw.Name, i, peer.Name, pod, j)
+				}
+			}
+		}
+	}
+}
+
+func TestHostIndexing(t *testing.T) {
+	cfg := Config{Pods: 2, ToRsPerPod: 3, T1PerPod: 2, T2: 2, HostsPerToR: 4}
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cfg.Pods; p++ {
+		for i := 0; i < cfg.ToRsPerPod; i++ {
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				id := topo.HostAt(p, i, h)
+				host := topo.Hosts[id]
+				if host.Pod != p || host.Index != h || host.ToR != topo.ToR(p, i) {
+					t.Fatalf("HostAt(%d,%d,%d) = %+v", p, i, h, host)
+				}
+			}
+		}
+	}
+	under := topo.HostsUnderToR(topo.ToR(1, 2))
+	if len(under) != cfg.HostsPerToR {
+		t.Fatalf("HostsUnderToR: %d hosts", len(under))
+	}
+	for _, h := range under {
+		if topo.Hosts[h].ToR != topo.ToR(1, 2) {
+			t.Fatalf("host %d not under expected ToR", h)
+		}
+	}
+	if topo.HostsUnderToR(topo.T1(0, 0)) != nil {
+		t.Fatal("HostsUnderToR of a T1 should be nil")
+	}
+}
+
+func TestIPUniquenessAndLookup(t *testing.T) {
+	topo, err := New(DefaultSimConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]string)
+	check := func(ip uint32, name string, n Node) {
+		if prev, dup := seen[ip]; dup {
+			t.Fatalf("IP %s assigned to both %s and %s", FormatIP(ip), prev, name)
+		}
+		seen[ip] = name
+		got, ok := topo.LookupIP(ip)
+		if !ok || got != n {
+			t.Fatalf("LookupIP(%s) = %+v, %v", FormatIP(ip), got, ok)
+		}
+	}
+	for _, h := range topo.Hosts {
+		check(h.IP, h.Name, HostNode(h.ID))
+	}
+	for _, s := range topo.Switches {
+		check(s.IP, s.Name, SwitchNode(s.ID))
+	}
+	if _, ok := topo.LookupIP(0xC0A80101); ok {
+		t.Fatal("LookupIP of a foreign address succeeded")
+	}
+}
+
+func TestSamePodSameToR(t *testing.T) {
+	topo, err := New(Config{Pods: 2, ToRsPerPod: 2, T1PerPod: 2, T2: 2, HostsPerToR: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := topo.HostAt(0, 0, 0)
+	b := topo.HostAt(0, 0, 1)
+	c := topo.HostAt(0, 1, 0)
+	d := topo.HostAt(1, 0, 0)
+	if !topo.SameToR(a, b) || !topo.SamePod(a, c) || topo.SameToR(a, c) || topo.SamePod(a, d) {
+		t.Fatal("pod/ToR relations wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	topo, err := New(TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := topo.Links[topo.Switches[topo.ToR(0, 3)].Uplinks[1]]
+	if got := topo.LinkName(l.ID); got != "tor-p0-3→t1-p0-1" {
+		t.Fatalf("LinkName = %q", got)
+	}
+	if TierToR.String() != "ToR" || TierT1.String() != "T1" || TierT2.String() != "T2" {
+		t.Fatal("tier names wrong")
+	}
+	if L1Down.String() != "T1-ToR" || HostUp.String() != "host-ToR" {
+		t.Fatal("link class names wrong")
+	}
+}
+
+func TestFormatIP(t *testing.T) {
+	if got := FormatIP(ipHost(1, 2, 3)); got != "10.1.2.4" {
+		t.Fatalf("FormatIP = %q, want 10.1.2.4", got)
+	}
+}
+
+// Property: every valid small config builds a topology whose per-node link
+// lists reference links that exist and point back correctly.
+func TestBuildPropertyQuick(t *testing.T) {
+	f := func(p, n0, n1, n2, h uint8) bool {
+		cfg := Config{
+			Pods:        int(p%3) + 1,
+			ToRsPerPod:  int(n0%4) + 1,
+			T1PerPod:    int(n1%3) + 1,
+			T2:          int(n2%3) + 1,
+			HostsPerToR: int(h%3) + 1,
+		}
+		topo, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		if len(topo.Links) != cfg.DirectedLinks() {
+			return false
+		}
+		for _, l := range topo.Links {
+			if topo.Links[l.Reverse].Reverse != l.ID {
+				return false
+			}
+		}
+		for _, host := range topo.Hosts {
+			up := topo.Links[host.Uplink]
+			if up.Class != HostUp || up.From != HostNode(host.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

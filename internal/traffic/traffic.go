@@ -1,0 +1,197 @@
+// Package traffic generates the workloads of the paper's evaluation:
+// uniform random traffic (the §6 default), ToR-skewed traffic (80% of flows
+// to 25% of ToRs, Fig. 8), hot-ToR sink traffic (Fig. 9) and a replay-style
+// heavy-tailed workload standing in for the production traces of §7.
+package traffic
+
+import (
+	"fmt"
+
+	"vigil/internal/ecmp"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+)
+
+// Flow is one TCP connection for an epoch: endpoints, the five-tuple that
+// determines its ECMP path, and how many packets it sends.
+type Flow struct {
+	Src, Dst topology.HostID
+	Tuple    ecmp.FiveTuple
+	Packets  int
+}
+
+// IntRange is an inclusive integer range; Lo == Hi makes it a constant.
+type IntRange struct{ Lo, Hi int }
+
+// Sample draws from the range.
+func (r IntRange) Sample(rng *stats.RNG) int {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return rng.IntRange(r.Lo, r.Hi)
+}
+
+// Pattern chooses a destination host for a given source. Implementations
+// must never return a host under the source's own ToR (the paper's traffic
+// model: hosts talk to hosts "under a different ToR").
+type Pattern interface {
+	Pick(rng *stats.RNG, topo *topology.Topology, src topology.HostID) topology.HostID
+	Name() string
+}
+
+// Uniform is the paper's default model: destination ToR uniform among all
+// other ToRs, destination host uniform under it.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Pick implements Pattern.
+func (Uniform) Pick(rng *stats.RNG, topo *topology.Topology, src topology.HostID) topology.HostID {
+	return pickUnderOtherToR(rng, topo, src, nil)
+}
+
+func pickUnderOtherToR(rng *stats.RNG, topo *topology.Topology, src topology.HostID, tors []topology.SwitchID) topology.HostID {
+	srcToR := topo.Hosts[src].ToR
+	for {
+		var tor topology.SwitchID
+		if tors == nil {
+			p := rng.Intn(topo.Cfg.Pods)
+			tor = topo.ToR(p, rng.Intn(topo.Cfg.ToRsPerPod))
+		} else {
+			tor = tors[rng.Intn(len(tors))]
+		}
+		if tor == srcToR {
+			continue
+		}
+		hosts := topo.HostsUnderToR(tor)
+		return hosts[rng.Intn(len(hosts))]
+	}
+}
+
+// SkewedToRs sends Frac of the flows to hosts under the Hot ToR set and the
+// rest uniformly (Fig. 8: Frac=0.8 to 25% of the ToRs).
+type SkewedToRs struct {
+	Hot  []topology.SwitchID
+	Frac float64
+}
+
+// Name implements Pattern.
+func (s SkewedToRs) Name() string { return fmt.Sprintf("skewed-%d-tors", len(s.Hot)) }
+
+// Pick implements Pattern.
+func (s SkewedToRs) Pick(rng *stats.RNG, topo *topology.Topology, src topology.HostID) topology.HostID {
+	if len(s.Hot) > 0 && rng.Bool(s.Frac) {
+		// Retry elsewhere when the source sits in the hot set's only rack.
+		if len(s.Hot) > 1 || s.Hot[0] != topo.Hosts[src].ToR {
+			return pickUnderOtherToR(rng, topo, src, s.Hot)
+		}
+	}
+	return pickUnderOtherToR(rng, topo, src, nil)
+}
+
+// RandomToRs picks n distinct ToRs for use as a hot set.
+func RandomToRs(rng *stats.RNG, topo *topology.Topology, n int) []topology.SwitchID {
+	total := topo.Cfg.Pods * topo.Cfg.ToRsPerPod
+	if n > total {
+		n = total
+	}
+	perm := rng.Perm(total)
+	out := make([]topology.SwitchID, n)
+	for i := 0; i < n; i++ {
+		p := perm[i] / topo.Cfg.ToRsPerPod
+		out[i] = topo.ToR(p, perm[i]%topo.Cfg.ToRsPerPod)
+	}
+	return out
+}
+
+// HotToR sends Frac of all flows into a single sink ToR (Fig. 9).
+type HotToR struct {
+	Sink topology.SwitchID
+	Frac float64
+}
+
+// Name implements Pattern.
+func (h HotToR) Name() string { return fmt.Sprintf("hot-tor-%.0f%%", h.Frac*100) }
+
+// Pick implements Pattern.
+func (h HotToR) Pick(rng *stats.RNG, topo *topology.Topology, src topology.HostID) topology.HostID {
+	if rng.Bool(h.Frac) && topo.Hosts[src].ToR != h.Sink {
+		hosts := topo.HostsUnderToR(h.Sink)
+		return hosts[rng.Intn(len(hosts))]
+	}
+	return pickUnderOtherToR(rng, topo, src, nil)
+}
+
+// Workload describes one epoch of traffic.
+type Workload struct {
+	Pattern        Pattern
+	ConnsPerHost   IntRange // paper default: 60 per 30 s epoch (2/s)
+	PacketsPerFlow IntRange // paper default: "up to 100 packets per flow"
+	// Hosts restricts sources to a subset (the §7 cluster controls 40 of
+	// the hosts); nil means every host originates traffic.
+	Hosts []topology.HostID
+}
+
+// DefaultWorkload is the §6 simulation default.
+func DefaultWorkload() Workload {
+	return Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{60, 60},
+		PacketsPerFlow: IntRange{100, 100},
+	}
+}
+
+// Generate produces the epoch's flows. Five-tuples use ephemeral source
+// ports and port 443, mirroring the storage-service traffic the paper
+// monitors.
+func (w Workload) Generate(rng *stats.RNG, topo *topology.Topology) []Flow {
+	srcs := w.Hosts
+	if srcs == nil {
+		srcs = make([]topology.HostID, len(topo.Hosts))
+		for i := range srcs {
+			srcs[i] = topology.HostID(i)
+		}
+	}
+	var flows []Flow
+	for _, src := range srcs {
+		n := w.ConnsPerHost.Sample(rng)
+		for c := 0; c < n; c++ {
+			dst := w.Pattern.Pick(rng, topo, src)
+			flows = append(flows, Flow{
+				Src: src,
+				Dst: dst,
+				Tuple: ecmp.FiveTuple{
+					SrcIP:   topo.Hosts[src].IP,
+					DstIP:   topo.Hosts[dst].IP,
+					SrcPort: uint16(rng.IntRange(32768, 65535)),
+					DstPort: 443,
+					Proto:   ecmp.ProtoTCP,
+				},
+				Packets: w.PacketsPerFlow.Sample(rng),
+			})
+		}
+	}
+	return flows
+}
+
+// Replay approximates the 6-hour production replay of §7: heavy-tailed flow
+// sizes (bounded Pareto) and bursty per-host connection counts.
+type Replay struct {
+	MeanConns int // mean connections per host per epoch
+}
+
+// GenerateReplay produces a replay-style epoch.
+func (r Replay) GenerateReplay(rng *stats.RNG, topo *topology.Topology, hosts []topology.HostID) []Flow {
+	w := Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{1, 2*r.MeanConns - 1},
+		PacketsPerFlow: IntRange{1, 1}, // replaced below
+		Hosts:          hosts,
+	}
+	flows := w.Generate(rng, topo)
+	for i := range flows {
+		flows[i].Packets = int(rng.Pareto(1.2, 4, 2000))
+	}
+	return flows
+}

@@ -1,0 +1,210 @@
+package vote
+
+import (
+	"vigil/internal/ecmp"
+	"vigil/internal/topology"
+)
+
+// Adjuster estimates, for the top-voted link lmax, the fraction of the
+// failed flows through lmax that also traverse link k — the quantity
+// Algorithm 1 subtracts from k's tally after blaming lmax.
+type Adjuster interface {
+	// Begin is called once per Algorithm 1 iteration with the newly blamed
+	// link; Fraction is then queried for other links.
+	Begin(lmax topology.LinkID)
+	// Fraction returns the estimated P(k on path | lmax on path) for failed
+	// flows, or 0 when no path can contain both.
+	Fraction(k topology.LinkID) float64
+}
+
+// AnalyticAdjuster implements the paper's adjustment: assume ECMP spreads
+// flows uniformly at random and derive the overlap fraction from the
+// topology alone (§5.1). This is the production-faithful variant — the
+// centralized agent needs only vote tallies, not retained paths.
+type AnalyticAdjuster struct {
+	Topo *topology.Topology
+	calc *ecmp.CondCalc
+}
+
+// Begin implements Adjuster.
+func (a *AnalyticAdjuster) Begin(lmax topology.LinkID) {
+	a.calc = ecmp.NewCondCalc(a.Topo, lmax)
+}
+
+// Fraction implements Adjuster.
+func (a *AnalyticAdjuster) Fraction(k topology.LinkID) float64 {
+	return a.calc.Cond(k)
+}
+
+// ObservedAdjuster computes the overlap fraction exactly from the epoch's
+// observed failed-flow paths. It is the ablation counterpart of
+// AnalyticAdjuster (DESIGN.md, abl-adjust).
+type ObservedAdjuster struct {
+	byLink map[topology.LinkID][]int // link -> indices of reports through it
+	nmax   int                       // reports through current lmax
+	onMax  map[int]bool
+}
+
+// NewObservedAdjuster indexes the epoch's reports.
+func NewObservedAdjuster(reports []Report) *ObservedAdjuster {
+	o := &ObservedAdjuster{byLink: make(map[topology.LinkID][]int)}
+	for i, r := range reports {
+		for _, l := range r.Path {
+			o.byLink[l] = append(o.byLink[l], i)
+		}
+	}
+	return o
+}
+
+// Begin implements Adjuster.
+func (o *ObservedAdjuster) Begin(lmax topology.LinkID) {
+	idx := o.byLink[lmax]
+	o.nmax = len(idx)
+	o.onMax = make(map[int]bool, len(idx))
+	for _, i := range idx {
+		o.onMax[i] = true
+	}
+}
+
+// Fraction implements Adjuster.
+func (o *ObservedAdjuster) Fraction(k topology.LinkID) float64 {
+	if o.nmax == 0 {
+		return 0
+	}
+	shared := 0
+	for _, i := range o.byLink[k] {
+		if o.onMax[i] {
+			shared++
+		}
+	}
+	return float64(shared) / float64(o.nmax)
+}
+
+// NoAdjuster disables the adjustment step (ablation baseline).
+type NoAdjuster struct{}
+
+// Begin implements Adjuster.
+func (NoAdjuster) Begin(topology.LinkID) {}
+
+// Fraction implements Adjuster.
+func (NoAdjuster) Fraction(topology.LinkID) float64 { return 0 }
+
+// DetectOptions configures Algorithm 1.
+type DetectOptions struct {
+	// ThresholdFrac stops the loop once the top remaining tally falls below
+	// this fraction of the total outstanding votes. The paper uses 1%,
+	// chosen by a precision/recall sweep (§5.1).
+	ThresholdFrac float64
+	// Adjuster estimates vote spill-over; nil means the paper's analytic
+	// adjustment when Topo is set, and no adjustment otherwise.
+	Adjuster Adjuster
+	// Topo enables the default AnalyticAdjuster.
+	Topo *topology.Topology
+	// MaxLinks caps |B| as a safety valve; 0 means no cap.
+	MaxLinks int
+}
+
+// DefaultDetectOptions returns the paper's parameters.
+func DefaultDetectOptions(topo *topology.Topology) DetectOptions {
+	return DetectOptions{ThresholdFrac: 0.01, Topo: topo}
+}
+
+// FindProblemLinks is Algorithm 1: iteratively pick the most-voted link,
+// blame it, discount the votes its failed flows spilled onto other links,
+// and repeat while the top link holds at least ThresholdFrac of the
+// outstanding votes. Returns the blamed set B in blame order.
+func FindProblemLinks(t *Tally, opts DetectOptions) []topology.LinkID {
+	if opts.ThresholdFrac <= 0 {
+		opts.ThresholdFrac = 0.01
+	}
+	adj := opts.Adjuster
+	if adj == nil {
+		if opts.Topo != nil {
+			adj = &AnalyticAdjuster{Topo: opts.Topo}
+		} else {
+			adj = NoAdjuster{}
+		}
+	}
+	votes := t.Snapshot()
+	// The 1% cutoff is anchored to the epoch's initial vote total. Anchoring
+	// to the running (adjusted) total instead lets the base collapse after
+	// each subtraction, so adjustment residuals cascade into false
+	// positives; the initial total is the stable reading of line 6 of
+	// Algorithm 1.
+	var total float64
+	for _, v := range votes {
+		total += v
+	}
+	cutoff := opts.ThresholdFrac * total
+	inB := make(map[topology.LinkID]bool)
+	var b []topology.LinkID
+	for {
+		if opts.MaxLinks > 0 && len(b) >= opts.MaxLinks {
+			return b
+		}
+		lmax := topology.NoLink
+		vmax := 0.0
+		for l, v := range votes {
+			if inB[l] {
+				continue
+			}
+			if v > vmax || (v == vmax && v > 0 && (lmax == topology.NoLink || l < lmax)) {
+				lmax, vmax = l, v
+			}
+		}
+		if lmax == topology.NoLink || total <= 0 || vmax < cutoff {
+			return b
+		}
+		inB[lmax] = true
+		b = append(b, lmax)
+		adj.Begin(lmax)
+		for l := range votes {
+			if inB[l] {
+				continue
+			}
+			if f := adj.Fraction(l); f > 0 {
+				votes[l] -= vmax * f
+				if votes[l] < 0 {
+					votes[l] = 0
+				}
+			}
+		}
+	}
+}
+
+// Verdict is 007's per-flow conclusion.
+type Verdict struct {
+	FlowID int64
+	// Link is the blamed link (the most likely cause of this flow's drops).
+	Link topology.LinkID
+	// Noise marks flows whose drops 007 attributes to background noise:
+	// no detected problem link lies on the flow's path (§6: "noise drops").
+	Noise bool
+}
+
+// ClassifyFlows produces verdicts for every report. Blame follows §5.1:
+// the ranking names the most likely cause of each flow's drops, so the
+// verdict is the highest-voted link on the flow's path. The Noise flag
+// marks flows whose path avoids every detected problem link — drops 007
+// attributes to background noise rather than a failure.
+func ClassifyFlows(t *Tally, detected []topology.LinkID, reports []Report) []Verdict {
+	inB := make(map[topology.LinkID]bool, len(detected))
+	for _, l := range detected {
+		inB[l] = true
+	}
+	out := make([]Verdict, 0, len(reports))
+	for _, r := range reports {
+		v := Verdict{FlowID: r.FlowID, Link: topology.NoLink, Noise: true}
+		if blame, ok := t.BlameOnPath(r.Path); ok {
+			v.Link = blame
+		}
+		for _, l := range r.Path {
+			if inB[l] {
+				v.Noise = false
+				break
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}

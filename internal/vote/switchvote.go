@@ -1,0 +1,157 @@
+package vote
+
+import (
+	"sort"
+
+	"vigil/internal/topology"
+)
+
+// This file implements the §5.1 extension the paper sketches: "007 can
+// also be used to detect switch failures in a similar fashion by applying
+// votes to switches instead of links." A failed flow votes 1/s on each of
+// the s switches of its path; a switch whose silent drops span all its
+// links (a bad ASIC, the §7.1 repaved-cluster ToR) then accumulates votes
+// that no single link would.
+
+// SwitchVotes pairs a switch with its tally.
+type SwitchVotes struct {
+	Switch topology.SwitchID
+	Votes  float64
+}
+
+// SwitchTally accumulates per-switch votes over one epoch.
+type SwitchTally struct {
+	topo  *topology.Topology
+	votes map[topology.SwitchID]float64
+	flows int
+}
+
+// NewSwitchTally returns an empty tally over topo.
+func NewSwitchTally(topo *topology.Topology) *SwitchTally {
+	return &SwitchTally{topo: topo, votes: make(map[topology.SwitchID]float64)}
+}
+
+// SwitchesOnPath extracts the ordered switch sequence from a link path.
+func SwitchesOnPath(topo *topology.Topology, path []topology.LinkID) []topology.SwitchID {
+	var out []topology.SwitchID
+	for _, l := range path {
+		if to := topo.Links[l].To; to.Kind == topology.NodeSwitch {
+			out = append(out, topology.SwitchID(to.ID))
+		}
+	}
+	return out
+}
+
+// Add casts r's votes: 1/s per path switch.
+func (t *SwitchTally) Add(r Report) {
+	t.flows++
+	switches := SwitchesOnPath(t.topo, r.Path)
+	if len(switches) == 0 {
+		return
+	}
+	v := 1.0 / float64(len(switches))
+	for _, sw := range switches {
+		t.votes[sw] += v
+	}
+}
+
+// AddAll casts votes for every report.
+func (t *SwitchTally) AddAll(rs []Report) {
+	for _, r := range rs {
+		t.Add(r)
+	}
+}
+
+// Votes returns switch sw's tally.
+func (t *SwitchTally) Votes(sw topology.SwitchID) float64 { return t.votes[sw] }
+
+// Flows returns the number of reports received.
+func (t *SwitchTally) Flows() int { return t.flows }
+
+// Ranking returns switches by descending votes, ties toward lower IDs.
+func (t *SwitchTally) Ranking() []SwitchVotes {
+	out := make([]SwitchVotes, 0, len(t.votes))
+	for sw, v := range t.votes {
+		if v > 0 {
+			out = append(out, SwitchVotes{Switch: sw, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].Switch < out[j].Switch
+	})
+	return out
+}
+
+// FindProblemSwitches mirrors Algorithm 1 at switch granularity: pick the
+// most-voted switch, discount the votes its failed flows spilled onto
+// other switches (measured from the observed reports), repeat while the
+// leader holds at least thresholdFrac of the epoch's initial votes.
+func FindProblemSwitches(t *SwitchTally, reports []Report, thresholdFrac float64) []topology.SwitchID {
+	if thresholdFrac <= 0 {
+		thresholdFrac = 0.01
+	}
+	votes := make(map[topology.SwitchID]float64, len(t.votes))
+	var total float64
+	for sw, v := range t.votes {
+		votes[sw] = v
+		total += v
+	}
+	// Index reports by switch for the overlap estimates.
+	bySwitch := make(map[topology.SwitchID][]int)
+	paths := make([][]topology.SwitchID, len(reports))
+	for i, r := range reports {
+		paths[i] = SwitchesOnPath(t.topo, r.Path)
+		for _, sw := range paths[i] {
+			bySwitch[sw] = append(bySwitch[sw], i)
+		}
+	}
+	cutoff := thresholdFrac * total
+	inB := make(map[topology.SwitchID]bool)
+	var b []topology.SwitchID
+	for {
+		best := topology.SwitchID(-1)
+		bestV := 0.0
+		for sw, v := range votes {
+			if inB[sw] {
+				continue
+			}
+			if v > bestV || (v == bestV && v > 0 && (best == -1 || sw < best)) {
+				best, bestV = sw, v
+			}
+		}
+		if best == -1 || bestV < cutoff {
+			return b
+		}
+		inB[best] = true
+		b = append(b, best)
+		through := bySwitch[best]
+		if len(through) == 0 {
+			continue
+		}
+		onBest := make(map[int]bool, len(through))
+		for _, i := range through {
+			onBest[i] = true
+		}
+		for sw := range votes {
+			if inB[sw] {
+				continue
+			}
+			shared := 0
+			for _, i := range bySwitch[sw] {
+				if onBest[i] {
+					shared++
+				}
+			}
+			if shared == 0 {
+				continue
+			}
+			votes[sw] -= bestV * float64(shared) / float64(len(through))
+			if votes[sw] < 0 {
+				votes[sw] = 0
+			}
+		}
+	}
+}

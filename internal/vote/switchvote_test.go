@@ -1,0 +1,113 @@
+package vote
+
+import (
+	"math"
+	"testing"
+
+	"vigil/internal/topology"
+)
+
+func switchTopo(t *testing.T) *topology.Topology {
+	topo, err := topology.New(topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 4, HostsPerToR: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSwitchesOnPath(t *testing.T) {
+	topo := switchTopo(t)
+	// Build a same-pod path by hand: host0 → ToR(0,0) → T1(0,1) → ToR(0,2) → host.
+	tor0 := topo.ToR(0, 0)
+	t1 := topo.T1(0, 1)
+	tor2 := topo.ToR(0, 2)
+	dst := topo.HostAt(0, 2, 1)
+	l1 := topo.Hosts[0].Uplink
+	l2, _ := topo.LinkBetween(topology.SwitchNode(tor0), topology.SwitchNode(t1))
+	l3, _ := topo.LinkBetween(topology.SwitchNode(t1), topology.SwitchNode(tor2))
+	l4 := topo.Hosts[dst].Downlink
+	sws := SwitchesOnPath(topo, []topology.LinkID{l1, l2, l3, l4})
+	if len(sws) != 3 || sws[0] != tor0 || sws[1] != t1 || sws[2] != tor2 {
+		t.Fatalf("switches = %v, want [%v %v %v]", sws, tor0, t1, tor2)
+	}
+}
+
+func TestSwitchTallyValues(t *testing.T) {
+	topo := switchTopo(t)
+	tor0 := topo.ToR(0, 0)
+	t1 := topo.T1(0, 1)
+	tor2 := topo.ToR(0, 2)
+	dst := topo.HostAt(0, 2, 1)
+	l2, _ := topo.LinkBetween(topology.SwitchNode(tor0), topology.SwitchNode(t1))
+	l3, _ := topo.LinkBetween(topology.SwitchNode(t1), topology.SwitchNode(tor2))
+	path := []topology.LinkID{topo.Hosts[0].Uplink, l2, l3, topo.Hosts[dst].Downlink}
+
+	st := NewSwitchTally(topo)
+	st.Add(Report{FlowID: 1, Path: path, Retx: 1})
+	// 3 switches on the path → 1/3 each.
+	for _, sw := range []topology.SwitchID{tor0, t1, tor2} {
+		if v := st.Votes(sw); math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("switch %v votes = %v, want 1/3", sw, v)
+		}
+	}
+	if st.Flows() != 1 {
+		t.Fatalf("flows = %d", st.Flows())
+	}
+	r := st.Ranking()
+	if len(r) != 3 {
+		t.Fatalf("ranking has %d entries", len(r))
+	}
+}
+
+// A failing switch (all its links dropping) must top the switch tally and
+// be the sole detection — the §5.1 switch-granularity extension, and the
+// §7.1 repaved-cluster anecdote (a ToR whose arriving links all had
+// abnormally high votes).
+func TestFindProblemSwitches(t *testing.T) {
+	topo := switchTopo(t)
+	badSwitch := topo.T1(0, 1)
+	// Synthesize reports: every flow through the bad switch retransmits.
+	var reports []Report
+	id := int64(0)
+	for i := 0; i < 4; i++ { // src ToR index
+		for j := 0; j < 4; j++ { // dst ToR index
+			if i == j {
+				continue
+			}
+			src := topo.HostAt(0, i, 0)
+			dst := topo.HostAt(0, j, 1)
+			l2, _ := topo.LinkBetween(topology.SwitchNode(topo.ToR(0, i)), topology.SwitchNode(badSwitch))
+			l3, _ := topo.LinkBetween(topology.SwitchNode(badSwitch), topology.SwitchNode(topo.ToR(0, j)))
+			id++
+			reports = append(reports, Report{
+				FlowID: id,
+				Path:   []topology.LinkID{topo.Hosts[src].Uplink, l2, l3, topo.Hosts[dst].Downlink},
+				Retx:   1,
+			})
+		}
+	}
+	st := NewSwitchTally(topo)
+	st.AddAll(reports)
+	if top := st.Ranking()[0]; top.Switch != badSwitch {
+		t.Fatalf("top switch = %v (%s), want %s",
+			top.Switch, topo.Switches[top.Switch].Name, topo.Switches[badSwitch].Name)
+	}
+	detected := FindProblemSwitches(st, reports, 0.01)
+	if len(detected) == 0 || detected[0] != badSwitch {
+		t.Fatalf("detected = %v, want [%v ...]", detected, badSwitch)
+	}
+	// The overlap adjustment must suppress the co-path ToRs.
+	for _, sw := range detected[1:] {
+		if topo.Switches[sw].Tier == topology.TierToR {
+			t.Fatalf("co-path ToR %s wrongly detected: %v", topo.Switches[sw].Name, detected)
+		}
+	}
+}
+
+func TestFindProblemSwitchesEmpty(t *testing.T) {
+	topo := switchTopo(t)
+	st := NewSwitchTally(topo)
+	if got := FindProblemSwitches(st, nil, 0.01); len(got) != 0 {
+		t.Fatalf("empty tally detected %v", got)
+	}
+}

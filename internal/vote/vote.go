@@ -1,0 +1,131 @@
+// Package vote implements 007's core contribution: the voting-based fault
+// localization scheme of §5.
+//
+// Every flow that suffers a retransmission casts a vote of 1/h on each of
+// the h links of its path (good flows vote 0 and are never traced). Votes
+// are tallied per 30-second epoch; the tally ranks links by likely drop
+// rate (Theorem 2), names the most likely cause of each individual flow's
+// drops, and — via Algorithm 1 — yields the set of problematic links.
+package vote
+
+import (
+	"sort"
+
+	"vigil/internal/topology"
+)
+
+// Report is what one host's 007 agent tells the analysis agent about one
+// flow that retransmitted: the flow, its discovered path, and how many
+// retransmissions it saw.
+type Report struct {
+	FlowID   int64
+	Src, Dst topology.HostID
+	Path     []topology.LinkID
+	Retx     int
+	// Partial marks a traceroute that did not reach the destination (the
+	// probe itself was lost); Path then holds the reached prefix.
+	Partial bool
+}
+
+// LinkVotes pairs a link with its tally.
+type LinkVotes struct {
+	Link  topology.LinkID
+	Votes float64
+}
+
+// Tally accumulates votes over one epoch.
+type Tally struct {
+	votes map[topology.LinkID]float64
+	flows int
+	total float64
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{votes: make(map[topology.LinkID]float64)}
+}
+
+// Add casts r's votes: 1/h per path link, h = len(Path). Reports with empty
+// paths (a traceroute that produced nothing) are counted but vote nowhere.
+func (t *Tally) Add(r Report) {
+	t.flows++
+	h := len(r.Path)
+	if h == 0 {
+		return
+	}
+	v := 1.0 / float64(h)
+	for _, l := range r.Path {
+		t.votes[l] += v
+	}
+	t.total += 1
+}
+
+// AddAll casts votes for each report.
+func (t *Tally) AddAll(rs []Report) {
+	for _, r := range rs {
+		t.Add(r)
+	}
+}
+
+// Votes returns link l's tally.
+func (t *Tally) Votes(l topology.LinkID) float64 { return t.votes[l] }
+
+// Total returns the sum of all votes cast. Each fully traced failed flow
+// contributes exactly 1 (h links × 1/h each).
+func (t *Tally) Total() float64 { return t.total }
+
+// Flows returns the number of reports received.
+func (t *Tally) Flows() int { return t.flows }
+
+// Len returns the number of links with non-zero tallies.
+func (t *Tally) Len() int { return len(t.votes) }
+
+// Snapshot copies the tally map, for mutation by Algorithm 1.
+func (t *Tally) Snapshot() map[topology.LinkID]float64 {
+	m := make(map[topology.LinkID]float64, len(t.votes))
+	for l, v := range t.votes {
+		m[l] = v
+	}
+	return m
+}
+
+// Ranking returns links sorted by descending votes; ties break toward the
+// lower link ID so results are deterministic.
+func (t *Tally) Ranking() []LinkVotes {
+	return rankVotes(t.votes)
+}
+
+func rankVotes(votes map[topology.LinkID]float64) []LinkVotes {
+	out := make([]LinkVotes, 0, len(votes))
+	for l, v := range votes {
+		if v > 0 {
+			out = append(out, LinkVotes{Link: l, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// BlameOnPath returns the most-voted link of path, the most likely cause of
+// that flow's drops (§5.2: links ranked higher have higher drop rates).
+// ok is false when no path link received any vote.
+func (t *Tally) BlameOnPath(path []topology.LinkID) (blame topology.LinkID, ok bool) {
+	return blameOnPath(t.votes, path)
+}
+
+func blameOnPath(votes map[topology.LinkID]float64, path []topology.LinkID) (topology.LinkID, bool) {
+	best := topology.NoLink
+	bestV := 0.0
+	for _, l := range path {
+		v := votes[l]
+		if v > bestV || (v == bestV && v > 0 && (best == topology.NoLink || l < best)) {
+			best, bestV = l, v
+		}
+	}
+	return best, best != topology.NoLink
+}

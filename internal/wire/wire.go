@@ -1,0 +1,333 @@
+// Package wire implements the packet formats the emulated fabric carries:
+// IPv4, TCP and ICMP. It follows the gopacket conventions — layers
+// serialize by prepending onto a buffer (payload first, headers outward)
+// and decode into preallocated layer structs — but is self-contained on the
+// standard library.
+//
+// 007's path discovery (§4.2) depends on three wire-level details all
+// implemented here: traceroute probes carry the traced flow's exact
+// five-tuple so ECMP hashes them onto the data path; the probe's TTL is
+// echoed in the IP ID field so concurrent traceroutes can be disambiguated
+// when the expired header comes back inside an ICMP time-exceeded message;
+// and probes carry a deliberately bad TCP checksum so the destination's
+// stack drops them without disturbing the live connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes in bytes.
+const (
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	ICMPHeaderLen = 8
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+)
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// ICMP types/codes used by the emulation.
+const (
+	ICMPTypeTimeExceeded  uint8 = 11
+	ICMPCodeTTLExpired    uint8 = 0
+	ICMPTypeEchoReply     uint8 = 0
+	ICMPTypeDestUnreach   uint8 = 3
+	ICMPCodePortUnreached uint8 = 3
+)
+
+// IPv4 is a 20-byte IPv4 header (no options).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length incl. header; filled by SerializeTo
+	ID       uint16 // 007 encodes the probe TTL here
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // filled by SerializeTo, verified by Decode
+	Src, Dst uint32
+}
+
+// TCP is a 20-byte TCP header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	// BadChecksum asks SerializeTo to emit a deliberately wrong checksum,
+	// 007's trick to keep probes from reaching the peer's TCP state machine.
+	BadChecksum bool
+}
+
+// ICMP is an ICMP header plus body. For time-exceeded messages the body is
+// the expired packet's IP header and the first 8 payload bytes (RFC 792),
+// which is exactly what lets 007 recover the probe's five-tuple and IP ID.
+type ICMP struct {
+	Type, Code uint8
+	Checksum   uint16
+	Body       []byte
+}
+
+// Buffer accumulates a packet during serialization. Layers prepend, so a
+// packet is built payload-first: buf.Append(payload); tcp.SerializeTo(buf);
+// ip.SerializeTo(buf).
+type Buffer struct {
+	data  []byte
+	start int
+}
+
+// NewBuffer returns a Buffer with room to prepend headroom bytes.
+func NewBuffer(headroom int) *Buffer {
+	return &Buffer{data: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the serialized packet so far.
+func (b *Buffer) Bytes() []byte { return b.data[b.start:] }
+
+// Prepend makes n bytes of space before the current content.
+func (b *Buffer) Prepend(n int) []byte {
+	if b.start < n {
+		content := b.data[b.start:]
+		grown := make([]byte, n+64+len(content))
+		copy(grown[n+64:], content)
+		b.data = grown
+		b.start = n + 64
+	}
+	b.start -= n
+	return b.data[b.start : b.start+n]
+}
+
+// Append adds payload bytes after the current content.
+func (b *Buffer) Append(p []byte) {
+	b.data = append(b.data, p...)
+}
+
+// SerializeTo prepends the IPv4 header, fixing Length and Checksum.
+func (ip *IPv4) SerializeTo(b *Buffer) {
+	total := len(b.Bytes()) + IPv4HeaderLen
+	h := b.Prepend(IPv4HeaderLen)
+	h[0] = 0x45 // version 4, IHL 5
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:], uint16(total))
+	binary.BigEndian.PutUint16(h[4:], ip.ID)
+	h[6], h[7] = 0, 0 // flags+fragment offset
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	h[10], h[11] = 0, 0 // checksum placeholder
+	binary.BigEndian.PutUint32(h[12:], ip.Src)
+	binary.BigEndian.PutUint32(h[16:], ip.Dst)
+	ip.Length = uint16(total)
+	ip.Checksum = Checksum(h)
+	binary.BigEndian.PutUint16(h[10:], ip.Checksum)
+}
+
+// SerializeTo prepends the TCP header, computing the checksum over the
+// pseudo-header, header and current buffer contents (the payload). ip
+// supplies the pseudo-header addresses.
+func (t *TCP) SerializeTo(b *Buffer, ip *IPv4) {
+	payloadLen := len(b.Bytes())
+	h := b.Prepend(TCPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:], t.Seq)
+	binary.BigEndian.PutUint32(h[8:], t.Ack)
+	h[12] = 5 << 4 // data offset: 5 words
+	h[13] = t.Flags
+	binary.BigEndian.PutUint16(h[14:], t.Window)
+	h[16], h[17] = 0, 0 // checksum placeholder
+	h[18], h[19] = 0, 0 // urgent
+	sum := tcpChecksum(h[:TCPHeaderLen+payloadLen], ip.Src, ip.Dst)
+	if t.BadChecksum {
+		sum ^= 0x5555
+		if sum == 0 {
+			sum = 0x5555
+		}
+	}
+	t.Checksum = sum
+	binary.BigEndian.PutUint16(h[16:], sum)
+}
+
+// SerializeTo prepends the ICMP header and body.
+func (ic *ICMP) SerializeTo(b *Buffer) {
+	b.Prepend(len(ic.Body))
+	copy(b.Bytes(), ic.Body)
+	h := b.Prepend(ICMPHeaderLen)
+	h[0] = ic.Type
+	h[1] = ic.Code
+	h[2], h[3] = 0, 0
+	h[4], h[5], h[6], h[7] = 0, 0, 0, 0 // unused
+	ic.Checksum = Checksum(b.Bytes())
+	binary.BigEndian.PutUint16(h[2:], ic.Checksum)
+}
+
+// Checksum computes the RFC 1071 internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func tcpChecksum(segment []byte, src, dst uint32) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:], src)
+	binary.BigEndian.PutUint32(pseudo[4:], dst)
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
+	var sum uint32
+	for i := 0; i < 12; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pseudo[i:]))
+	}
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i:]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: not an IPv4 packet")
+	ErrBadChecksum = errors.New("wire: header checksum mismatch")
+)
+
+// DecodeIPv4 parses an IPv4 header from data, returning the payload.
+// The header checksum is verified.
+func DecodeIPv4(data []byte, ip *IPv4) (payload []byte, err error) {
+	if len(data) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return nil, ErrTruncated
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:])
+	ip.ID = binary.BigEndian.Uint16(data[4:])
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:])
+	ip.Src = binary.BigEndian.Uint32(data[12:])
+	ip.Dst = binary.BigEndian.Uint32(data[16:])
+	end := int(ip.Length)
+	if end < ihl || end > len(data) {
+		end = len(data)
+	}
+	return data[ihl:end], nil
+}
+
+// DecodeTCP parses a TCP header from data, returning the payload.
+// Checksum verification is the caller's concern (see VerifyTCPChecksum):
+// hosts verify, switches do not.
+func DecodeTCP(data []byte, t *TCP) (payload []byte, err error) {
+	if len(data) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:])
+	t.DstPort = binary.BigEndian.Uint16(data[2:])
+	t.Seq = binary.BigEndian.Uint32(data[4:])
+	t.Ack = binary.BigEndian.Uint32(data[8:])
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen || len(data) < off {
+		return nil, ErrTruncated
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:])
+	t.Checksum = binary.BigEndian.Uint16(data[16:])
+	return data[off:], nil
+}
+
+// VerifyTCPChecksum reports whether the TCP segment's checksum is valid
+// under the given pseudo-header addresses.
+func VerifyTCPChecksum(segment []byte, src, dst uint32) bool {
+	return tcpChecksum(segment, src, dst) == 0
+}
+
+// DecodeICMP parses an ICMP message from data.
+func DecodeICMP(data []byte, ic *ICMP) error {
+	if len(data) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	if Checksum(data) != 0 {
+		return ErrBadChecksum
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:])
+	ic.Body = data[ICMPHeaderLen:]
+	return nil
+}
+
+// TimeExceeded builds the ICMP time-exceeded reply a switch sends when a
+// packet's TTL expires: the expired packet's IP header plus its first 8
+// payload bytes come back as the body.
+func TimeExceeded(expired []byte) ICMP {
+	n := IPv4HeaderLen + 8
+	if n > len(expired) {
+		n = len(expired)
+	}
+	body := make([]byte, n)
+	copy(body, expired[:n])
+	return ICMP{Type: ICMPTypeTimeExceeded, Code: ICMPCodeTTLExpired, Body: body}
+}
+
+// ExpiredProbe extracts the original probe's identity from a time-exceeded
+// body: the embedded IP header and, when the embedded packet was TCP, its
+// source/destination ports (the first 4 payload bytes). It returns the
+// embedded IP header, the ports, and whether ports were present.
+func ExpiredProbe(body []byte) (ip IPv4, srcPort, dstPort uint16, ok bool, err error) {
+	if len(body) < IPv4HeaderLen {
+		return IPv4{}, 0, 0, false, ErrTruncated
+	}
+	// The embedded header's checksum was valid when the packet expired.
+	if _, err := DecodeIPv4(body[:IPv4HeaderLen], &ip); err != nil {
+		return IPv4{}, 0, 0, false, err
+	}
+	if ip.Protocol == ProtoTCP && len(body) >= IPv4HeaderLen+4 {
+		srcPort = binary.BigEndian.Uint16(body[IPv4HeaderLen:])
+		dstPort = binary.BigEndian.Uint16(body[IPv4HeaderLen+2:])
+		return ip, srcPort, dstPort, true, nil
+	}
+	return ip, 0, 0, false, nil
+}
+
+// String renders the header compactly for logs.
+func (ip *IPv4) String() string {
+	return fmt.Sprintf("IPv4{%d.%d.%d.%d→%d.%d.%d.%d ttl=%d id=%d proto=%d}",
+		byte(ip.Src>>24), byte(ip.Src>>16), byte(ip.Src>>8), byte(ip.Src),
+		byte(ip.Dst>>24), byte(ip.Dst>>16), byte(ip.Dst>>8), byte(ip.Dst),
+		ip.TTL, ip.ID, ip.Protocol)
+}

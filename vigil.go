@@ -1,0 +1,290 @@
+// Package vigil is a from-scratch reproduction of "007: Democratically
+// Finding the Cause of Packet Drops" (Arzani et al., NSDI 2018): an
+// always-on, host-side fault localization system for datacenter networks,
+// together with the substrates needed to evaluate it — a Clos topology
+// model, seeded ECMP routing, a flow-level simulator, a packet-level
+// fabric emulation with crafted-probe traceroutes and ICMP rate limiting,
+// a software load balancer, optimization baselines, and the full
+// experiment harness regenerating every table and figure of the paper.
+//
+// The package exposes three entry points:
+//
+//   - Simulation: the flow-level plane (§6 of the paper). Fast, scales to
+//     the paper's 4160-link datacenter; used for accuracy/precision/recall
+//     sweeps.
+//   - Emulation: the packet-level plane (§7, §8). Every host runs real 007
+//     agents over an emulated switching fabric: retransmissions come from
+//     a TCP-like stack, paths from real traceroute probes, and reports can
+//     travel over loopback TCP.
+//   - Experiments: the per-figure/table runners behind cmd/vigil-lab.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package vigil
+
+import (
+	"fmt"
+
+	"vigil/internal/analysis"
+	"vigil/internal/cluster"
+	"vigil/internal/des"
+	"vigil/internal/ecmp"
+	"vigil/internal/experiments"
+	"vigil/internal/metrics"
+	"vigil/internal/netem"
+	"vigil/internal/report"
+	"vigil/internal/slb"
+	"vigil/internal/theory"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// Core identifier and configuration types, re-exported from the internal
+// packages so the public API is self-contained.
+type (
+	// Topology is a built Clos network (switches, hosts, directed links).
+	Topology = topology.Topology
+	// TopologyConfig sizes a Clos in the paper's notation (npod, n0, n1,
+	// n2, H).
+	TopologyConfig = topology.Config
+	// LinkID identifies a directed link.
+	LinkID = topology.LinkID
+	// LinkClass is a link's role (host-ToR, ToR-T1, T1-T2 and reverses).
+	LinkClass = topology.LinkClass
+	// HostID identifies an end host.
+	HostID = topology.HostID
+	// SwitchID identifies a switch.
+	SwitchID = topology.SwitchID
+	// FiveTuple identifies a flow.
+	FiveTuple = ecmp.FiveTuple
+	// Workload describes an epoch of traffic.
+	Workload = traffic.Workload
+	// IntRange is an inclusive range used by workload knobs.
+	IntRange = traffic.IntRange
+	// Report is one host agent's per-flow report to the analysis agent.
+	Report = vote.Report
+	// LinkVotes pairs a link with its vote tally.
+	LinkVotes = vote.LinkVotes
+	// Verdict is 007's per-flow conclusion.
+	Verdict = vote.Verdict
+	// DetectOptions configures Algorithm 1.
+	DetectOptions = vote.DetectOptions
+	// Detection carries precision/recall of a detected link set.
+	Detection = metrics.Detection
+	// FlowTruth is ground truth for one failed flow.
+	FlowTruth = metrics.FlowTruth
+	// Emulation is the packet-level multi-node emulation (§7/§8 plane).
+	Emulation = cluster.Cluster
+	// EmulationConfig assembles an Emulation.
+	EmulationConfig = cluster.Config
+	// Duration is virtual time in microseconds (packet plane).
+	Duration = des.Time
+	// Table is a rendered experiment table.
+	Table = report.Table
+	// ExperimentOptions configures an experiment run.
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is one experiment's tables and notes.
+	ExperimentResult = experiments.Result
+	// Experiment is a registered table/figure runner.
+	Experiment = experiments.Runner
+)
+
+// Link classes, re-exported.
+const (
+	HostUp   = topology.HostUp
+	HostDown = topology.HostDown
+	L1Up     = topology.L1Up
+	L1Down   = topology.L1Down
+	L2Up     = topology.L2Up
+	L2Down   = topology.L2Down
+)
+
+// Experiment scales.
+const (
+	FullScale  = experiments.Full
+	QuickScale = experiments.Quick
+)
+
+// Virtual-time units for the packet plane.
+const (
+	Microsecond = des.Microsecond
+	Millisecond = des.Millisecond
+	Second      = des.Second
+)
+
+// DefaultSimTopology is the paper's §6 simulator topology (4160 directed
+// links, 2 pods, 20 ToRs per pod).
+var DefaultSimTopology = topology.DefaultSimConfig
+
+// TestClusterTopology is the paper's §7 test cluster (one pod, 10 ToRs, 80
+// physical links).
+var TestClusterTopology = topology.TestClusterConfig
+
+// NewTopology builds a Clos topology.
+func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
+
+// NewEmulation builds the packet-level plane. See EmulationConfig for the
+// knobs (Tmax, Ct, epoch length, host stack parameters).
+func NewEmulation(cfg EmulationConfig) (*Emulation, error) { return cluster.New(cfg) }
+
+// UniformTraffic is the paper's default pattern: destination ToR uniform
+// among all other ToRs.
+func UniformTraffic() traffic.Pattern { return traffic.Uniform{} }
+
+// HotToRTraffic sends frac of all flows into one sink ToR (Fig. 9).
+func HotToRTraffic(sink SwitchID, frac float64) traffic.Pattern {
+	return traffic.HotToR{Sink: sink, Frac: frac}
+}
+
+// SkewedTraffic sends frac of flows to the given hot ToR set (Fig. 8).
+func SkewedTraffic(hot []SwitchID, frac float64) traffic.Pattern {
+	return traffic.SkewedToRs{Hot: hot, Frac: frac}
+}
+
+// TracerouteBudget returns Theorem 1's bound on per-host traceroutes per
+// second that keeps every switch below tmax ICMP messages per second.
+func TracerouteBudget(cfg TopologyConfig, tmax float64) float64 {
+	return theory.CtBound(cfg, tmax)
+}
+
+// SimConfig configures the flow-level plane.
+type SimConfig struct {
+	// Topology defaults to DefaultSimTopology.
+	Topology TopologyConfig
+	// Workload defaults to the paper's: uniform pattern, 60 connections
+	// per host per epoch, 100 packets per flow.
+	Workload Workload
+	// NoiseLo, NoiseHi bound good-link drop rates; default (0, 1e-6).
+	NoiseLo, NoiseHi float64
+	// TracerouteCap limits traced flows per host per epoch (0 = unlimited).
+	TracerouteCap int
+	// Detect configures Algorithm 1; zero value means the paper's 1%
+	// threshold with the observed-path adjuster.
+	Detect DetectOptions
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Simulation is the flow-level plane: inject failures, run 30-second
+// epochs, get rankings, detections and per-flow verdicts scored against
+// ground truth.
+type Simulation struct {
+	sim    *netem.Sim
+	detect DetectOptions
+}
+
+// NewSimulation builds a Simulation.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	topoCfg := cfg.Topology
+	if topoCfg == (TopologyConfig{}) {
+		topoCfg = DefaultSimTopology
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Workload
+	if w.Pattern == nil {
+		w = traffic.DefaultWorkload()
+	}
+	noiseHi := cfg.NoiseHi
+	if noiseHi == 0 && cfg.NoiseLo == 0 {
+		noiseHi = 1e-6
+	}
+	sim, err := netem.New(netem.Config{
+		Topo:          topo,
+		Workload:      w,
+		NoiseLo:       cfg.NoiseLo,
+		NoiseHi:       noiseHi,
+		TracerouteCap: cfg.TracerouteCap,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	detect := cfg.Detect
+	if detect.ThresholdFrac == 0 {
+		detect.ThresholdFrac = 0.01
+	}
+	return &Simulation{sim: sim, detect: detect}, nil
+}
+
+// Topology returns the simulated network.
+func (s *Simulation) Topology() *Topology { return s.sim.Topology() }
+
+// InjectFailure sets a directed link's drop rate.
+func (s *Simulation) InjectFailure(l LinkID, rate float64) { s.sim.InjectFailure(l, rate) }
+
+// ClearFailure restores a link to its noise rate.
+func (s *Simulation) ClearFailure(l LinkID) { s.sim.ClearFailure(l) }
+
+// ClearAllFailures restores every link.
+func (s *Simulation) ClearAllFailures() { s.sim.ClearAllFailures() }
+
+// EpochReport is the outcome of one simulated epoch: 007's outputs plus
+// ground-truth scores.
+type EpochReport struct {
+	// Ranking is the vote heat-map, highest first.
+	Ranking []LinkVotes
+	// Detected is Algorithm 1's problematic link set, in blame order.
+	Detected []LinkID
+	// Verdicts are 007's per-flow conclusions for every reported flow.
+	Verdicts []Verdict
+	// FailedLinks are the injected failures active this epoch.
+	FailedLinks []LinkID
+	// Accuracy is the share of failure-crossing flows blamed on their true
+	// culprit (the paper's per-flow accuracy).
+	Accuracy float64
+	// FlowsScored counts those failure-crossing flows.
+	FlowsScored int
+	// Detection scores Detected against FailedLinks.
+	Detection Detection
+	// TotalFlows, FailedFlows and TotalDrops summarize the epoch.
+	TotalFlows  int
+	FailedFlows int
+	TotalDrops  int
+}
+
+// RunEpoch simulates one 30-second epoch and analyzes it.
+func (s *Simulation) RunEpoch() *EpochReport {
+	ep := s.sim.RunEpoch()
+	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: s.detect})
+	score := metrics.ScoreVerdicts(res.Verdicts, ep.Truth())
+	return &EpochReport{
+		Ranking:     res.Ranking,
+		Detected:    res.Detected,
+		Verdicts:    res.Verdicts,
+		FailedLinks: ep.FailedLinks,
+		Accuracy:    score.Accuracy(),
+		FlowsScored: score.Considered,
+		Detection:   metrics.ScoreDetection(res.Detected, ep.FailedLinks),
+		TotalFlows:  ep.TotalFlows,
+		FailedFlows: len(ep.Failed),
+		TotalDrops:  ep.TotalDrops,
+	}
+}
+
+// LinkName renders a link as "from→to" using a topology's names.
+func LinkName(t *Topology, l LinkID) string { return t.LinkName(l) }
+
+// RegisterVIP announces a load-balanced service on an emulation; vip
+// addresses come from ServiceVIP.
+func RegisterVIP(em *Emulation, vip uint32, backends []HostID) error {
+	return em.SLB.RegisterVIP(vip, backends)
+}
+
+// ServiceVIP returns the i-th conventional virtual IP.
+func ServiceVIP(i int) uint32 { return slb.VIP(i) }
+
+// Experiments returns every registered table/figure runner in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment runs one experiment by ID ("fig3", "table1", ...).
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	r, ok := experiments.Find(id)
+	if !ok {
+		return nil, fmt.Errorf("vigil: unknown experiment %q (see Experiments())", id)
+	}
+	return r.Run(opts)
+}

@@ -1,0 +1,107 @@
+package vigil_test
+
+import (
+	"testing"
+
+	"vigil"
+)
+
+// The facade must support the full quickstart flow.
+func TestSimulationFacade(t *testing.T) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := sim.Topology()
+	bad := topo.LinksOfClass(vigil.L1Up)[5]
+	sim.InjectFailure(bad, 0.01)
+	rep := sim.RunEpoch()
+	if len(rep.Ranking) == 0 || rep.Ranking[0].Link != bad {
+		t.Fatalf("facade pipeline failed to rank the bad link first: %+v", rep.Ranking[:min(3, len(rep.Ranking))])
+	}
+	if rep.Detection.Recall != 1 {
+		t.Fatalf("recall = %v", rep.Detection.Recall)
+	}
+	if rep.Accuracy < 0.9 {
+		t.Fatalf("accuracy = %v", rep.Accuracy)
+	}
+	if vigil.LinkName(topo, bad) == "" {
+		t.Fatal("LinkName empty")
+	}
+	sim.ClearFailure(bad)
+	sim.ClearAllFailures()
+	rep2 := sim.RunEpoch()
+	if len(rep2.FailedLinks) != 0 {
+		t.Fatal("failures not cleared")
+	}
+}
+
+func TestSimulationDefaults(t *testing.T) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sim.Topology().Links); got != 4160 {
+		t.Fatalf("default topology has %d links, want the paper's 4160", got)
+	}
+}
+
+func TestEmulationFacade(t *testing.T) {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip := vigil.ServiceVIP(1)
+	if err := vigil.RegisterVIP(em, vip, []vigil.HostID{topo.HostAt(0, 5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	bad := topo.LinksOfClass(vigil.L1Down)[4]
+	em.InjectFailure(bad, 0.05)
+	em.StartWorkload(vigil.Workload{
+		Pattern:        vigil.UniformTraffic(),
+		ConnsPerHost:   vigil.IntRange{Lo: 10, Hi: 10},
+		PacketsPerFlow: vigil.IntRange{Lo: 80, Hi: 80},
+	}, 20*vigil.Second)
+	res := em.RunEpoch()
+	if res.Tally.Flows() == 0 {
+		t.Fatal("no reports in emulation")
+	}
+	if res.Ranking[0].Link != bad {
+		t.Fatalf("emulation top-ranked %v, want %v", res.Ranking[0].Link, bad)
+	}
+}
+
+func TestTrafficPatternConstructors(t *testing.T) {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vigil.UniformTraffic() == nil {
+		t.Fatal("nil uniform pattern")
+	}
+	if vigil.HotToRTraffic(topo.ToR(0, 0), 0.5) == nil {
+		t.Fatal("nil hot pattern")
+	}
+	if vigil.SkewedTraffic([]vigil.SwitchID{topo.ToR(0, 1)}, 0.8) == nil {
+		t.Fatal("nil skewed pattern")
+	}
+}
+
+func TestTracerouteBudgetFacade(t *testing.T) {
+	if got := vigil.TracerouteBudget(vigil.DefaultSimTopology, 100); got != 3.25 {
+		t.Fatalf("TracerouteBudget = %v, want 3.25", got)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := vigil.RunExperiment("not-an-experiment", vigil.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(vigil.Experiments()) < 20 {
+		t.Fatalf("only %d experiments exposed", len(vigil.Experiments()))
+	}
+}
