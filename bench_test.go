@@ -7,6 +7,7 @@ package vigil_test
 // evaluation.
 
 import (
+	"fmt"
 	"testing"
 
 	"vigil"
@@ -56,9 +57,25 @@ func BenchmarkAblVoteValue(b *testing.B) { benchExperiment(b, "abl-votevalue") }
 func BenchmarkAblRateLimit(b *testing.B) { benchExperiment(b, "abl-ratelimit") }
 
 // BenchmarkEpochPaperScale measures one full 007 cycle — simulate, vote,
-// detect, classify — at the paper's 4160-link scale.
+// detect, classify — at the paper's 4160-link scale, fanned out over all
+// cores (SimConfig.Parallelism defaults to GOMAXPROCS).
 func BenchmarkEpochPaperScale(b *testing.B) {
-	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1})
+	benchEpochAtParallelism(b, 0)
+}
+
+// BenchmarkEpochParallel charts the speedup curve of the sharded epoch
+// engine: the same seeded workload at fixed worker counts.
+func BenchmarkEpochParallel(b *testing.B) {
+	for _, parallelism := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", parallelism), func(b *testing.B) {
+			benchEpochAtParallelism(b, parallelism)
+		})
+	}
+}
+
+func benchEpochAtParallelism(b *testing.B, parallelism int) {
+	b.Helper()
+	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1, Parallelism: parallelism})
 	if err != nil {
 		b.Fatal(err)
 	}

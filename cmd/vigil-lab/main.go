@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "base random seed")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Int("par", 0, "seed-sweep worker pool size (0 = all cores); results are identical at any setting")
 	flag.Parse()
 
 	if *list {
@@ -34,7 +35,7 @@ func main() {
 		return
 	}
 
-	opts := vigil.ExperimentOptions{Scale: vigil.FullScale, Seeds: *seeds, Seed: *seed}
+	opts := vigil.ExperimentOptions{Scale: vigil.FullScale, Seeds: *seeds, Seed: *seed, Parallelism: *parallel}
 	if *quick {
 		opts.Scale = vigil.QuickScale
 	}

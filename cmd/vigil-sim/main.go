@@ -29,6 +29,7 @@ func main() {
 	epochs := flag.Int("epochs", 1, "epochs to run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	top := flag.Int("top", 10, "ranking entries to print")
+	parallel := flag.Int("par", 0, "epoch pipeline workers (0 = all cores); results are identical at any setting")
 	flag.Parse()
 
 	sim, err := vigil.NewSimulation(vigil.SimConfig{
@@ -40,7 +41,8 @@ func main() {
 			ConnsPerHost:   vigil.IntRange{Lo: *conns, Hi: *conns},
 			PacketsPerFlow: vigil.IntRange{Lo: 100, Hi: 100},
 		},
-		Seed: *seed,
+		Seed:        *seed,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vigil-sim:", err)

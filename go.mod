@@ -1,0 +1,3 @@
+module vigil
+
+go 1.24

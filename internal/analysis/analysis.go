@@ -2,11 +2,24 @@
 // it gathers the per-flow reports that host agents produce during an epoch,
 // tallies votes, ranks links, runs Algorithm 1 to pick out problematic
 // links, and issues a verdict for every failed flow.
+//
+// The per-epoch pipeline is parallel and deterministic: reports are fanned
+// out in fixed-size chunks to tally workers that build shard-local tallies
+// (and shard-local observed-path indexes), and the shards merge in chunk
+// order. Chunk boundaries depend only on the report count — never the
+// worker count — so the merged floating-point vote sums are identical at
+// every Parallelism setting (they are the fixed-chunk pipeline's sums, not
+// a flat sequential fold's). Verdict classification fans back out with
+// each chunk writing into its own slots of the verdict slice.
 package analysis
 
 import (
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
+	"vigil/internal/par"
 	"vigil/internal/topology"
 	"vigil/internal/vote"
 )
@@ -14,6 +27,9 @@ import (
 // Options configures an analysis pass.
 type Options struct {
 	Detect vote.DetectOptions
+	// Parallelism caps the tally/classify worker count; 0 means
+	// runtime.GOMAXPROCS(0). Results are identical at every setting.
+	Parallelism int
 }
 
 // Result is the outcome of analyzing one epoch.
@@ -28,6 +44,12 @@ type Result struct {
 	Verdicts []vote.Verdict
 }
 
+// reportChunk is the fan-out granularity: small enough to load-balance an
+// epoch across workers, large enough that shard bookkeeping is noise.
+// Chunk boundaries depend only on the report count (never the worker
+// count), which is what keeps the chunk-ordered merge deterministic.
+const reportChunk = 2048
+
 // Analyze runs the full per-epoch pipeline over the collected reports.
 //
 // Because this agent receives the flow reports themselves (it needs them
@@ -37,34 +59,105 @@ type Result struct {
 // deployments that ship only vote tallies to the center, and the two are
 // compared by the abl-adjust ablation benchmark.
 func Analyze(reports []vote.Report, opts Options) *Result {
-	t := vote.NewTally()
-	t.AddAll(reports)
-	if opts.Detect.Adjuster == nil {
-		opts.Detect.Adjuster = vote.NewObservedAdjuster(reports)
+	needObserved := opts.Detect.Adjuster == nil
+	nchunks := par.Chunks(len(reports), reportChunk)
+
+	// Fan out: shard-local tallies (and observed-path indexes), one per
+	// chunk, merged below in chunk order.
+	tallies := make([]*vote.Tally, nchunks)
+	var adjusters []*vote.ObservedAdjuster
+	if needObserved {
+		adjusters = make([]*vote.ObservedAdjuster, nchunks)
 	}
+	par.ForEachChunk(len(reports), reportChunk, opts.Parallelism, func(c, lo, hi int) {
+		t := vote.NewTally()
+		t.AddAll(reports[lo:hi])
+		tallies[c] = t
+		if needObserved {
+			adjusters[c] = vote.NewObservedAdjusterShard(reports[lo:hi], lo)
+		}
+	})
+
+	t := vote.NewTally()
+	for _, partial := range tallies {
+		t.Merge(partial)
+	}
+	if needObserved {
+		merged := vote.NewObservedAdjusterShard(nil, 0)
+		for _, partial := range adjusters {
+			merged.Merge(partial)
+		}
+		opts.Detect.Adjuster = merged
+	}
+
+	// Algorithm 1 is inherently iterative (each blame adjusts the next
+	// pick) and runs on the merged tally.
 	detected := vote.FindProblemLinks(t, opts.Detect)
+
+	// Fan back out: verdicts are per-report independent reads of the
+	// merged tally, so each chunk writes its own slots.
+	verdicts := make([]vote.Verdict, len(reports))
+	par.ForEachChunk(len(reports), reportChunk, opts.Parallelism, func(_, lo, hi int) {
+		vote.ClassifyFlowsInto(verdicts[lo:hi], t, detected, reports[lo:hi])
+	})
+
 	return &Result{
 		Tally:    t,
 		Ranking:  t.Ranking(),
 		Detected: detected,
-		Verdicts: vote.ClassifyFlows(t, detected, reports),
+		Verdicts: verdicts,
 	}
 }
 
 // Agent is the long-running form of the analysis service: hosts stream
 // reports in (concurrently, in the multi-node emulation), and the epoch is
 // closed at the 30-second tick. The zero value is not ready; use NewAgent.
+//
+// The inbox is sharded: submissions take a sequence number from one atomic
+// counter and land in per-shard mutex-guarded slices, so concurrent Submit
+// calls from many emulated hosts contend on a shard each instead of
+// serializing behind one lock. CloseEpoch drains every shard and restores
+// global submission order by sequence number, so a single-threaded
+// submit/close cycle behaves exactly like the old single-inbox agent.
 type Agent struct {
 	opts Options
 
-	mu      sync.Mutex
-	epoch   int64
-	reports []vote.Report
+	seq    atomic.Uint64
+	shards []inboxShard
+
+	// mu serializes the inbox drain and epoch increment only; the Analyze
+	// call itself runs outside the lock, so concurrent CloseEpoch calls
+	// analyze disjoint report batches in parallel. That is safe with the
+	// default (nil) Adjuster, which Analyze builds fresh per call — a
+	// caller-supplied stateful Adjuster in Options.Detect would be shared
+	// across those concurrent analyses and must be safe for concurrent use
+	// (the stock ObservedAdjuster/AnalyticAdjuster are not).
+	mu    sync.Mutex
+	epoch int64
 }
 
-// NewAgent returns an Agent that analyzes with opts.
+// sequenced is a report stamped with its global submission order.
+type sequenced struct {
+	seq uint64
+	r   vote.Report
+}
+
+// inboxShard is one slice of the agent's inbox, padded so shards on
+// adjacent cache lines don't false-share under concurrent Submit.
+type inboxShard struct {
+	mu      sync.Mutex
+	reports []sequenced
+	_       [96]byte
+}
+
+// NewAgent returns an Agent that analyzes with opts, with one inbox shard
+// per CPU.
 func NewAgent(opts Options) *Agent {
-	return &Agent{opts: opts}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return &Agent{opts: opts, shards: make([]inboxShard, n)}
 }
 
 // Epoch returns the current epoch index.
@@ -74,27 +167,49 @@ func (a *Agent) Epoch() int64 {
 	return a.epoch
 }
 
-// Submit adds a report to the current epoch. Safe for concurrent use.
+// Submit adds a report to the current epoch. Safe for concurrent use; only
+// the submitter's shard lock is taken.
 func (a *Agent) Submit(r vote.Report) {
-	a.mu.Lock()
-	a.reports = append(a.reports, r)
-	a.mu.Unlock()
+	seq := a.seq.Add(1)
+	sh := &a.shards[seq%uint64(len(a.shards))]
+	sh.mu.Lock()
+	sh.reports = append(sh.reports, sequenced{seq: seq, r: r})
+	sh.mu.Unlock()
 }
 
 // Pending returns the number of reports waiting in the current epoch.
 func (a *Agent) Pending() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.reports)
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += len(sh.reports)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// CloseEpoch tallies the epoch's reports, advances the epoch counter and
-// returns the analysis.
+// CloseEpoch drains the sharded inbox, restores submission order, advances
+// the epoch counter and returns the analysis. Reports submitted
+// concurrently with the close land in either the closing epoch or the next
+// one — the same guarantee the single-inbox agent gave.
 func (a *Agent) CloseEpoch() *Result {
 	a.mu.Lock()
-	reports := a.reports
-	a.reports = nil
+	var drained []sequenced
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		drained = append(drained, sh.reports...)
+		sh.reports = nil
+		sh.mu.Unlock()
+	}
 	a.epoch++
 	a.mu.Unlock()
+
+	sort.Slice(drained, func(i, j int) bool { return drained[i].seq < drained[j].seq })
+	reports := make([]vote.Report, len(drained))
+	for i, s := range drained {
+		reports[i] = s.r
+	}
 	return Analyze(reports, a.opts)
 }

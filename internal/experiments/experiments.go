@@ -16,6 +16,7 @@ import (
 	"vigil/internal/metrics"
 	"vigil/internal/netem"
 	"vigil/internal/opt"
+	"vigil/internal/par"
 	"vigil/internal/report"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
@@ -38,6 +39,11 @@ type Options struct {
 	Scale Scale
 	Seeds int // repetitions; 0 means the scale default
 	Seed  uint64
+	// Parallelism bounds the worker pool that runs a sweep's seed
+	// repetitions concurrently; 0 means runtime.GOMAXPROCS(0). Results are
+	// identical at every setting — repetitions are independent and write
+	// into per-seed slots.
+	Parallelism int
 }
 
 func (o Options) seeds() int {
@@ -48,6 +54,23 @@ func (o Options) seeds() int {
 		return 2
 	}
 	return 5
+}
+
+func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
+
+// innerParallelism spreads the worker budget between the seed pool and each
+// seed's epoch engine: with at least as many repetitions as workers the
+// epochs run single-threaded (the sweep already saturates the pool); a
+// lone repetition gets the whole budget.
+func (o Options) innerParallelism(reps int) int {
+	p := o.parallelism()
+	if reps < 1 {
+		reps = 1
+	}
+	if reps > p {
+		return 1
+	}
+	return p / reps
 }
 
 func (o Options) topoConfig() topology.Config {
@@ -126,7 +149,9 @@ type simOutcome struct {
 }
 
 // runOne simulates one epoch under the spec and scores everything.
-func runOne(spec simSpec, seed uint64) (simOutcome, error) {
+// parallelism is the epoch engine's worker count — 1 when the caller is
+// already fanning seeds out over the pool.
+func runOne(spec simSpec, seed uint64, parallelism int) (simOutcome, error) {
 	topo, err := topology.New(spec.topo)
 	if err != nil {
 		return simOutcome{}, err
@@ -147,7 +172,8 @@ func runOne(spec simSpec, seed uint64) (simOutcome, error) {
 	sim, err := netem.New(netem.Config{
 		Topo: topo, Workload: w,
 		NoiseLo: spec.noiseLo, NoiseHi: spec.noiseHi,
-		Seed: seed,
+		Seed:        seed,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return simOutcome{}, err
@@ -163,7 +189,7 @@ func runOne(spec simSpec, seed uint64) (simOutcome, error) {
 	if spec.detect != nil {
 		detectOpts = spec.detect(topo)
 	}
-	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: detectOpts})
+	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: detectOpts, Parallelism: parallelism})
 
 	out := simOutcome{flows: ep.TotalFlows}
 	score := metrics.ScoreVerdicts(res.Verdicts, truth)
@@ -191,15 +217,21 @@ func runOne(spec simSpec, seed uint64) (simOutcome, error) {
 	return out, nil
 }
 
-// sweepPoint runs Seeds repetitions of one condition.
+// sweepPoint runs Seeds repetitions of one condition concurrently through
+// the bounded worker pool. Each repetition derives its own seed and writes
+// into its own slot, so the sweep's output is independent of the pool size.
+// A failed repetition stops the remaining ones from starting.
 func sweepPoint(spec simSpec, opts Options) ([]simOutcome, error) {
-	outs := make([]simOutcome, 0, opts.seeds())
-	for s := 0; s < opts.seeds(); s++ {
-		o, err := runOne(spec, opts.Seed+uint64(s)*7919+1)
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, o)
+	n := opts.seeds()
+	outs := make([]simOutcome, n)
+	inner := opts.innerParallelism(n)
+	err := par.ForEachErr(n, opts.parallelism(), func(i int) error {
+		var err error
+		outs[i], err = runOne(spec, opts.Seed+uint64(i)*7919+1, inner)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

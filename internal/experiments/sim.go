@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vigil/internal/netem"
+	"vigil/internal/par"
 	"vigil/internal/report"
 	"vigil/internal/stats"
 	"vigil/internal/theory"
@@ -556,12 +557,13 @@ func runTheorem2(opts Options) (*Result, error) {
 		conns = []int{5, 20}
 	}
 	for _, c := range conns {
-		miss := 0
 		trials := opts.seeds() * 4
-		for s := 0; s < trials; s++ {
+		missed := make([]bool, trials)
+		inner := opts.innerParallelism(trials)
+		err := par.ForEachErr(trials, opts.parallelism(), func(s int) error {
 			topo, err := topology.New(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sim, err := netem.New(netem.Config{
 				Topo: topo,
@@ -571,10 +573,11 @@ func runTheorem2(opts Options) (*Result, error) {
 					PacketsPerFlow: traffic.IntRange{Lo: 100, Hi: 100},
 				},
 				NoiseLo: 0, NoiseHi: 1e-6,
-				Seed: opts.Seed + uint64(1000*c+s),
+				Seed:        opts.Seed + uint64(1000*c+s),
+				Parallelism: inner,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bad := randomLinks(stats.NewRNG(uint64(s)+3), topo, 1)[0]
 			sim.InjectFailure(bad, 0.005)
@@ -582,6 +585,16 @@ func runTheorem2(opts Options) (*Result, error) {
 			tl := vote.NewTally()
 			tl.AddAll(ep.Reports)
 			if r := tl.Ranking(); len(r) == 0 || r[0].Link != bad {
+				missed[s] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		miss := 0
+		for s := 0; s < trials; s++ {
+			if missed[s] {
 				miss++
 			}
 		}

@@ -9,6 +9,14 @@
 // simulator records complete ground truth — which link dropped how many of
 // which flow's packets — against which 007 and the optimization baselines
 // are scored.
+//
+// Epochs run as a deterministic parallel pipeline: flows are split into
+// fixed-size chunks fanned out over Config.Parallelism workers, every flow
+// draws its drops from its own RNG stream derived from (epoch seed, flow
+// index), and each chunk accumulates ground truth into shard-local dense
+// counters that merge in chunk order at epoch close. Because no draw and no
+// reduction depends on worker interleaving, a seeded epoch is bit-identical
+// at any parallelism — see DESIGN.md ("Determinism contract").
 package netem
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"vigil/internal/ecmp"
 	"vigil/internal/metrics"
+	"vigil/internal/par"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/traffic"
@@ -38,6 +47,10 @@ type Config struct {
 	TracerouteCap int
 	// Seed fixes the noise-rate draw and all epoch randomness derivation.
 	Seed uint64
+	// Parallelism is the epoch worker count; 0 means runtime.GOMAXPROCS(0).
+	// Epoch results are bit-identical at every setting — the knob trades
+	// cores for wall-clock only.
+	Parallelism int
 }
 
 // Sim is a ready-to-run simulator. Failures are injected per directed link
@@ -132,13 +145,15 @@ type FlowOutcome struct {
 
 // Epoch is one 30-second simulation round.
 type Epoch struct {
-	// Failed lists every flow that lost at least one packet.
+	// Failed lists every flow that lost at least one packet, in flow-index
+	// order regardless of how many workers simulated the epoch.
 	Failed []FlowOutcome
 	// Reports carries what 007's analysis agent receives: one report per
 	// failed flow whose path was discovered.
 	Reports []vote.Report
-	// LinkDrops is the ground-truth number of packets each link dropped.
-	LinkDrops map[topology.LinkID]int
+	// LinkDrops is the ground-truth number of packets each link dropped,
+	// dense and indexed by LinkID (merged from the per-shard counters).
+	LinkDrops []int64
 	// FailedLinks snapshots the injected failures during this epoch.
 	FailedLinks []topology.LinkID
 
@@ -147,79 +162,157 @@ type Epoch struct {
 	TotalDrops   int
 }
 
-// RunEpoch simulates one epoch.
+// flowChunk is the fan-out granularity of the epoch pipeline. Chunk
+// boundaries depend only on the flow count, never on the worker count, so
+// the chunk-ordered merge below reduces identically at any parallelism.
+const flowChunk = 1024
+
+// dropDomain separates the per-flow drop streams from the per-source
+// generation streams that share the epoch seed: DeriveRNG(epochSeed, si)
+// generates source si's flows while DeriveRNG(epochSeed^dropDomain, fi)
+// drives flow fi's drop draws, so a flow never replays the draw sequence
+// that generated it.
+const dropDomain = 0xd6e8feb86659fd93
+
+// epochShard accumulates one worker's slice of the epoch ground truth.
+// The counters are order-free integer sums, so one shard per *worker*
+// suffices (O(workers × links) memory, not O(chunks × links)); only the
+// per-chunk FlowOutcome lists are order-sensitive and those are keyed by
+// chunk. Padding keeps adjacent workers' hot counters off a shared cache
+// line.
+type epochShard struct {
+	drops   []int64 // dense by LinkID
+	packets int
+	dropped int
+	_       [104]byte
+}
+
+// RunEpoch simulates one epoch: generate flows sequentially, fan chunks out
+// to workers that sample each flow from its own (epoch seed, flow index)
+// RNG stream, merge the shard-local counters in chunk order, then apply the
+// order-sensitive traceroute budget in a sequential flow-order pass.
 func (s *Sim) RunEpoch() *Epoch {
-	rng := s.rng.Split()
-	flows := s.cfg.Workload.Generate(rng, s.topo)
+	// One draw advances the per-epoch stream exactly like the old Split().
+	epochSeed := s.rng.Uint64()
+	flows := s.cfg.Workload.GenerateParallel(epochSeed, s.topo, s.cfg.Parallelism)
+	nlinks := len(s.topo.Links)
 	ep := &Epoch{
-		LinkDrops:   make(map[topology.LinkID]int),
+		LinkDrops:   make([]int64, nlinks),
 		FailedLinks: s.FailedLinks(),
 		TotalFlows:  len(flows),
 	}
-	budget := make(map[topology.HostID]int)
-	for fi, f := range flows {
-		path, err := s.router.Path(f.Src, f.Dst, f.Tuple)
-		if err != nil {
-			// Unreachable by construction; surface loudly if it happens.
-			panic(fmt.Sprintf("netem: routing %v: %v", f.Tuple, err))
+	shards := make([]epochShard, par.Workers(s.cfg.Parallelism))
+	failedByChunk := make([][]FlowOutcome, par.Chunks(len(flows), flowChunk))
+	par.ForEachChunkWorker(len(flows), flowChunk, s.cfg.Parallelism, func(w, c, lo, hi int) {
+		sh := &shards[w]
+		if sh.drops == nil {
+			sh.drops = make([]int64, nlinks)
 		}
-		ep.TotalPackets += f.Packets
-		surviving := f.Packets
-		var drops int
-		var perLink []uint16
-		for li, l := range path.Links {
-			if surviving == 0 {
-				break
-			}
-			d := rng.Binomial(surviving, s.rate[l])
-			if d == 0 {
-				continue
-			}
-			if perLink == nil {
-				perLink = make([]uint16, len(path.Links))
-			}
-			perLink[li] = uint16(d)
-			ep.LinkDrops[l] += d
-			surviving -= d
-			drops += d
+		var failed []FlowOutcome
+		for fi := lo; fi < hi; fi++ {
+			failed = s.simFlow(sh, failed, epochSeed, int64(fi), flows[fi])
 		}
-		if drops == 0 {
+		failedByChunk[c] = failed
+	})
+	// Merge: integer counter sums are order-free across workers, and the
+	// per-chunk outcome lists concatenate in chunk order, restoring
+	// ascending flow-index order.
+	for w := range shards {
+		sh := &shards[w]
+		if sh.drops == nil {
 			continue
 		}
-		ep.TotalDrops += drops
-		out := FlowOutcome{
-			FlowID:      int64(fi),
-			Flow:        f,
-			Path:        path.Links,
-			Drops:       drops,
-			DropsByLink: perLink,
-			Culprit:     culprit(path.Links, perLink),
-			Traced:      true,
+		ep.TotalPackets += sh.packets
+		ep.TotalDrops += sh.dropped
+		for l, d := range sh.drops {
+			ep.LinkDrops[l] += d
 		}
-		for _, l := range path.Links {
-			if _, bad := s.failures[l]; bad {
-				out.CrossedFailure = true
-				break
-			}
-		}
+	}
+	for _, failed := range failedByChunk {
+		ep.Failed = append(ep.Failed, failed...)
+	}
+	// The traceroute budget is inherently sequential — whether flow i gets
+	// traced depends on how many earlier failed flows its host already
+	// traced — so it runs as a post-pass over the merged, ordered outcomes.
+	budget := make(map[topology.HostID]int)
+	for i := range ep.Failed {
+		out := &ep.Failed[i]
 		if s.cfg.TracerouteCap > 0 {
-			if budget[f.Src] >= s.cfg.TracerouteCap {
+			if budget[out.Flow.Src] >= s.cfg.TracerouteCap {
 				out.Traced = false
-			} else {
-				budget[f.Src]++
+				continue
 			}
+			budget[out.Flow.Src]++
 		}
-		if out.Traced {
-			ep.Reports = append(ep.Reports, vote.Report{
-				FlowID: int64(fi),
-				Src:    f.Src, Dst: f.Dst,
-				Path: path.Links,
-				Retx: drops,
-			})
-		}
-		ep.Failed = append(ep.Failed, out)
+		ep.Reports = append(ep.Reports, vote.Report{
+			FlowID: out.FlowID,
+			Src:    out.Flow.Src, Dst: out.Flow.Dst,
+			Path: out.Path,
+			Retx: out.Drops,
+		})
 	}
 	return ep
+}
+
+// simFlow routes one flow and samples its per-link drops into sh, drawing
+// from the flow's private RNG stream so the result is independent of which
+// worker runs it and in what order. A failed flow's outcome is appended to
+// failed (the caller's per-chunk list) and the grown list returned.
+func (s *Sim) simFlow(sh *epochShard, failed []FlowOutcome, epochSeed uint64, fi int64, f traffic.Flow) []FlowOutcome {
+	path, err := s.router.Path(f.Src, f.Dst, f.Tuple)
+	if err != nil {
+		// Unreachable by construction; surface loudly if it happens.
+		panic(fmt.Sprintf("netem: routing %v: %v", f.Tuple, err))
+	}
+	sh.packets += f.Packets
+	surviving := f.Packets
+	var drops int
+	var perLink []uint16
+	var rng *stats.RNG
+	for li, l := range path.Links {
+		if surviving == 0 {
+			break
+		}
+		rate := s.rate[l]
+		if rate == 0 {
+			continue
+		}
+		if rng == nil {
+			// Lazily derived: flows over all-zero-rate paths cost no seeding.
+			rng = stats.DeriveRNG(epochSeed^dropDomain, uint64(fi))
+		}
+		d := rng.Binomial(surviving, rate)
+		if d == 0 {
+			continue
+		}
+		if perLink == nil {
+			perLink = make([]uint16, len(path.Links))
+		}
+		perLink[li] = uint16(d)
+		sh.drops[l] += int64(d)
+		surviving -= d
+		drops += d
+	}
+	if drops == 0 {
+		return failed
+	}
+	sh.dropped += drops
+	out := FlowOutcome{
+		FlowID:      fi,
+		Flow:        f,
+		Path:        path.Links,
+		Drops:       drops,
+		DropsByLink: perLink,
+		Culprit:     culprit(path.Links, perLink),
+		Traced:      true,
+	}
+	for _, l := range path.Links {
+		if _, bad := s.failures[l]; bad {
+			out.CrossedFailure = true
+			break
+		}
+	}
+	return append(failed, out)
 }
 
 // Truth builds the ground-truth map that package metrics scores against.

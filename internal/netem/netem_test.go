@@ -2,6 +2,7 @@ package netem
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"vigil/internal/topology"
@@ -49,7 +50,7 @@ func TestDropConservation(t *testing.T) {
 	ep := s.RunEpoch()
 	var sumLinks int
 	for _, d := range ep.LinkDrops {
-		sumLinks += d
+		sumLinks += int(d)
 	}
 	if sumLinks != ep.TotalDrops {
 		t.Fatalf("link drops sum %d != total %d", sumLinks, ep.TotalDrops)
@@ -91,7 +92,7 @@ func TestFailureInjectionRaisesDrops(t *testing.T) {
 	// Clearing restores the noise floor.
 	s.ClearFailure(bad)
 	cleared := s.RunEpoch()
-	if cleared.LinkDrops[bad] > cleared.TotalDrops/2 && cleared.TotalDrops > 10 {
+	if int(cleared.LinkDrops[bad]) > cleared.TotalDrops/2 && cleared.TotalDrops > 10 {
 		t.Fatal("cleared link still dominates drops")
 	}
 	if len(cleared.FailedLinks) != 0 {
@@ -221,6 +222,68 @@ func TestDeterministicEpochs(t *testing.T) {
 	}
 }
 
+// parallelSim builds a mid-size simulator (several flow chunks per epoch)
+// with an explicit worker count.
+func parallelSim(t testing.TB, seed uint64, workers int) *Sim {
+	t.Helper()
+	topo, err := topology.New(topology.Config{Pods: 2, ToRsPerPod: 6, T1PerPod: 4, T2: 4, HostsPerToR: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Topo:    topo,
+		NoiseLo: 0, NoiseHi: 1e-6,
+		Workload: traffic.Workload{
+			Pattern:        traffic.Uniform{},
+			ConnsPerHost:   traffic.IntRange{Lo: 40, Hi: 40},
+			PacketsPerFlow: traffic.IntRange{Lo: 100, Hi: 100},
+		},
+		TracerouteCap: 5, // exercise the order-sensitive budget pass too
+		Seed:          seed,
+		Parallelism:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The determinism contract of the parallel pipeline: a seeded epoch is
+// bit-identical at every worker count, including ground truth, dense link
+// drops, report order and the traceroute-budget decisions.
+func TestEpochBitIdenticalAcrossParallelism(t *testing.T) {
+	base := parallelSim(t, 41, 1)
+	bad := base.Topology().LinksOfClass(topology.L1Up)[2]
+	base.InjectFailure(bad, 0.02)
+	want := base.RunEpoch()
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		s := parallelSim(t, 41, workers)
+		s.InjectFailure(bad, 0.02)
+		got := s.RunEpoch()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("epoch diverged at Parallelism=%d: %d/%d drops, %d/%d failed, %d/%d reports",
+				workers, want.TotalDrops, got.TotalDrops,
+				len(want.Failed), len(got.Failed),
+				len(want.Reports), len(got.Reports))
+		}
+	}
+}
+
+// Successive epochs must stay deterministic too: the epoch-seed stream
+// advances identically whatever the parallelism of the previous epochs.
+func TestEpochSequenceIdenticalAcrossParallelism(t *testing.T) {
+	a, b := parallelSim(t, 42, 1), parallelSim(t, 42, 8)
+	bad := a.Topology().LinksOfClass(topology.L2Up)[1]
+	a.InjectFailure(bad, 0.01)
+	b.InjectFailure(bad, 0.01)
+	for e := 0; e < 3; e++ {
+		ea, eb := a.RunEpoch(), b.RunEpoch()
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("epoch %d diverged between Parallelism 1 and 8", e)
+		}
+	}
+}
+
 func TestDropRateMatchesInjection(t *testing.T) {
 	s := smallSim(t, 8)
 	bad := s.Topology().LinksOfClass(topology.L1Up)[0]
@@ -229,7 +292,7 @@ func TestDropRateMatchesInjection(t *testing.T) {
 	var dropped, offered int
 	for e := 0; e < 20; e++ {
 		ep := s.RunEpoch()
-		dropped += ep.LinkDrops[bad]
+		dropped += int(ep.LinkDrops[bad])
 		for _, f := range ep.Failed {
 			_ = f
 		}

@@ -1,0 +1,143 @@
+// Package par provides the deterministic fan-out primitives behind vigil's
+// parallel epoch pipeline: fixed-size chunking with a bounded worker pool.
+//
+// Determinism contract: work is split into chunks whose boundaries depend
+// only on the item count and chunk size — never on the worker count — and
+// every chunk writes its result into a slot indexed by chunk number. A
+// caller that merges chunk results in index order therefore observes the
+// exact same reduction order (including floating-point grouping) at any
+// parallelism, which is what makes same-seed epochs bit-identical whether
+// they run on one core or sixty-four.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: n <= 0 means runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Chunks returns how many size-sized chunks cover n items.
+func Chunks(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// ForEachChunk runs fn(chunk, lo, hi) for every fixed-size chunk of [0, n),
+// spread over at most workers goroutines. Chunk boundaries are a function of
+// n and size alone, so downstream per-chunk results can be merged in chunk
+// order to get worker-count-independent reductions. fn must not panic-swallow:
+// a panic in any chunk propagates to the caller.
+//
+// workers <= 1 (or a single chunk) runs inline on the calling goroutine —
+// the sequential path and the parallel path execute the same code.
+func ForEachChunk(n, size, workers int, fn func(chunk, lo, hi int)) {
+	ForEachChunkWorker(n, size, workers, func(_, chunk, lo, hi int) { fn(chunk, lo, hi) })
+}
+
+// ForEachChunkWorker is ForEachChunk with the pool slot exposed: worker is a
+// stable index in [0, min(Workers(workers), chunk count)) identifying which
+// goroutine runs the chunk. Use it for order-free accumulators (integer
+// counters) that want O(workers) shards instead of O(chunks) — per-worker
+// state must be merged order-insensitively, since chunk-to-worker assignment
+// varies run to run.
+func ForEachChunkWorker(n, size, workers int, fn func(worker, chunk, lo, hi int)) {
+	nchunks := Chunks(n, size)
+	if nchunks == 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for c := 0; c < nchunks; c++ {
+			lo := c * size
+			hi := min(lo+size, n)
+			fn(0, c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * size
+				hi := min(lo+size, n)
+				if err := run(fn, w, c, lo, hi); err != nil {
+					select {
+					case panics <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// run invokes fn and converts a panic into a value so the pool can re-raise
+// it on the calling goroutine instead of crashing the process from a worker.
+func run(fn func(worker, chunk, lo, hi int), w, c, lo, hi int) (p any) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = r
+		}
+	}()
+	fn(w, c, lo, hi)
+	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) over at most workers goroutines.
+// It is ForEachChunk with chunk size 1 — the shape of multi-seed sweeps,
+// where each item is one independent repetition writing into its own slot.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachChunk(n, 1, workers, func(_, lo, _ int) { fn(lo) })
+}
+
+// ForEachErr is ForEach with fail-fast error collection: after the first
+// error, remaining items are skipped (already-running ones finish), and the
+// error of the lowest failed index is returned. Items that ran still hold
+// their side effects — callers discard partial results on error.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var failed atomic.Bool
+	ForEach(n, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

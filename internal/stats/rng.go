@@ -58,6 +58,22 @@ func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 // fixed call order yields fixed children.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 
+// DeriveRNG returns the generator for the stream-th named substream of seed.
+// Unlike Split, the result depends only on (seed, stream) — not on how many
+// other streams were derived before it — so stream i can be drawn by any
+// worker in any order and still produce identical values. This is the basis
+// of the parallel simulator's determinism: each flow's drop draws come from
+// DeriveRNG(epochSeed, flowIndex), making the epoch independent of both the
+// worker count and the flow processing order.
+//
+// Seed and stream are decorrelated by two SplitMix64 rounds before seeding
+// xoshiro, so adjacent stream indices yield unrelated sequences.
+func DeriveRNG(seed, stream uint64) *RNG {
+	next, h1 := splitmix64(seed)
+	_, h2 := splitmix64(next ^ stream)
+	return NewRNG(h1 ^ rotl(h2, 27))
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))

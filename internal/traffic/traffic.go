@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vigil/internal/ecmp"
+	"vigil/internal/par"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 )
@@ -146,31 +147,74 @@ func DefaultWorkload() Workload {
 // ports and port 443, mirroring the storage-service traffic the paper
 // monitors.
 func (w Workload) Generate(rng *stats.RNG, topo *topology.Topology) []Flow {
-	srcs := w.Hosts
-	if srcs == nil {
-		srcs = make([]topology.HostID, len(topo.Hosts))
-		for i := range srcs {
-			srcs[i] = topology.HostID(i)
-		}
-	}
+	srcs := w.sources(topo)
 	var flows []Flow
 	for _, src := range srcs {
-		n := w.ConnsPerHost.Sample(rng)
-		for c := 0; c < n; c++ {
-			dst := w.Pattern.Pick(rng, topo, src)
-			flows = append(flows, Flow{
-				Src: src,
-				Dst: dst,
-				Tuple: ecmp.FiveTuple{
-					SrcIP:   topo.Hosts[src].IP,
-					DstIP:   topo.Hosts[dst].IP,
-					SrcPort: uint16(rng.IntRange(32768, 65535)),
-					DstPort: 443,
-					Proto:   ecmp.ProtoTCP,
-				},
-				Packets: w.PacketsPerFlow.Sample(rng),
-			})
+		flows = w.appendSourceFlows(flows, rng, topo, src)
+	}
+	return flows
+}
+
+// sources resolves the originating host set (all hosts unless restricted).
+func (w Workload) sources(topo *topology.Topology) []topology.HostID {
+	if w.Hosts != nil {
+		return w.Hosts
+	}
+	srcs := make([]topology.HostID, len(topo.Hosts))
+	for i := range srcs {
+		srcs[i] = topology.HostID(i)
+	}
+	return srcs
+}
+
+// appendSourceFlows draws one source's epoch flows from rng.
+func (w Workload) appendSourceFlows(flows []Flow, rng *stats.RNG, topo *topology.Topology, src topology.HostID) []Flow {
+	n := w.ConnsPerHost.Sample(rng)
+	for c := 0; c < n; c++ {
+		dst := w.Pattern.Pick(rng, topo, src)
+		flows = append(flows, Flow{
+			Src: src,
+			Dst: dst,
+			Tuple: ecmp.FiveTuple{
+				SrcIP:   topo.Hosts[src].IP,
+				DstIP:   topo.Hosts[dst].IP,
+				SrcPort: uint16(rng.IntRange(32768, 65535)),
+				DstPort: 443,
+				Proto:   ecmp.ProtoTCP,
+			},
+			Packets: w.PacketsPerFlow.Sample(rng),
+		})
+	}
+	return flows
+}
+
+// srcChunk is the fan-out granularity of parallel generation: boundaries
+// depend only on the source count, so chunk-ordered concatenation yields
+// the same flow list at any worker count.
+const srcChunk = 64
+
+// GenerateParallel produces an epoch like Generate, but fans sources out
+// over workers, each source drawing from its own RNG stream derived from
+// (seed, source index). The flow list — grouped by source in source order,
+// like Generate's — is bit-identical at every worker count, though it is a
+// different (equally distributed) draw than Generate's single-stream walk.
+func (w Workload) GenerateParallel(seed uint64, topo *topology.Topology, workers int) []Flow {
+	srcs := w.sources(topo)
+	chunks := make([][]Flow, par.Chunks(len(srcs), srcChunk))
+	par.ForEachChunk(len(srcs), srcChunk, workers, func(c, lo, hi int) {
+		var buf []Flow
+		for si := lo; si < hi; si++ {
+			buf = w.appendSourceFlows(buf, stats.DeriveRNG(seed, uint64(si)), topo, srcs[si])
 		}
+		chunks[c] = buf
+	})
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	flows := make([]Flow, 0, total)
+	for _, ch := range chunks {
+		flows = append(flows, ch...)
 	}
 	return flows
 }

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"vigil/internal/stats"
@@ -219,5 +220,70 @@ func TestPatternNames(t *testing.T) {
 	}
 	if (SkewedToRs{Hot: make([]topology.SwitchID, 10)}).Name() != "skewed-10-tors" {
 		t.Fatal("skewed name")
+	}
+}
+
+// GenerateParallel must emit a bit-identical flow list at every worker
+// count: each source draws from its own (seed, source index) stream and
+// chunks concatenate in source order.
+func TestGenerateParallelWorkerCountIndependent(t *testing.T) {
+	tp := topo(t)
+	w := Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{Lo: 10, Hi: 30},
+		PacketsPerFlow: IntRange{Lo: 50, Hi: 100},
+	}
+	want := w.GenerateParallel(123, tp, 1)
+	if len(want) == 0 {
+		t.Fatal("no flows generated")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := w.GenerateParallel(123, tp, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("flow list diverged at %d workers (%d vs %d flows)", workers, len(want), len(got))
+		}
+	}
+	// Flows stay grouped by source in source order, like Generate's output.
+	last := topology.HostID(-1)
+	seen := map[topology.HostID]bool{}
+	for _, f := range want {
+		if f.Src != last {
+			if seen[f.Src] {
+				t.Fatalf("source %d appears in two separate runs", f.Src)
+			}
+			seen[f.Src] = true
+			last = f.Src
+		}
+	}
+}
+
+// The per-source streams must respect the workload knobs exactly as the
+// sequential generator does.
+func TestGenerateParallelRespectsKnobs(t *testing.T) {
+	tp := topo(t)
+	w := Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{Lo: 5, Hi: 15},
+		PacketsPerFlow: IntRange{Lo: 10, Hi: 20},
+		Hosts:          []topology.HostID{0, 3, 9},
+	}
+	flows := w.GenerateParallel(9, tp, 4)
+	perSrc := map[topology.HostID]int{}
+	for _, f := range flows {
+		perSrc[f.Src]++
+		if f.Packets < 10 || f.Packets > 20 {
+			t.Fatalf("flow packets %d out of range", f.Packets)
+		}
+		if tp.SameToR(f.Src, f.Dst) {
+			t.Fatal("destination under the source rack")
+		}
+	}
+	if len(perSrc) != 3 {
+		t.Fatalf("flows from %d sources, want the 3 restricted hosts", len(perSrc))
+	}
+	for src, n := range perSrc {
+		if n < 5 || n > 15 {
+			t.Fatalf("source %d generated %d conns, want 5..15", src, n)
+		}
 	}
 }

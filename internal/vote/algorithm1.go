@@ -39,28 +39,52 @@ func (a *AnalyticAdjuster) Fraction(k topology.LinkID) float64 {
 // ObservedAdjuster computes the overlap fraction exactly from the epoch's
 // observed failed-flow paths. It is the ablation counterpart of
 // AnalyticAdjuster (DESIGN.md, abl-adjust).
+//
+// The index is mergeable: concurrent analysis workers each build a partial
+// adjuster over their report shard (with a base offset into the global
+// report order) and the shards combine with Merge. Because shards cover
+// disjoint, ascending index ranges and are merged in shard order, the
+// per-link index lists come out identical to a sequential build.
 type ObservedAdjuster struct {
-	byLink map[topology.LinkID][]int // link -> indices of reports through it
-	nmax   int                       // reports through current lmax
-	onMax  map[int]bool
+	byLink map[topology.LinkID][]int32 // link -> indices of reports through it
+	nmax   int                         // reports through current lmax
+	onMax  map[int32]bool
 }
 
 // NewObservedAdjuster indexes the epoch's reports.
 func NewObservedAdjuster(reports []Report) *ObservedAdjuster {
-	o := &ObservedAdjuster{byLink: make(map[topology.LinkID][]int)}
+	return NewObservedAdjusterShard(reports, 0)
+}
+
+// NewObservedAdjusterShard indexes one shard of the epoch's reports, whose
+// first report sits at global index base. Shards merge with Merge.
+func NewObservedAdjusterShard(reports []Report, base int) *ObservedAdjuster {
+	o := &ObservedAdjuster{byLink: make(map[topology.LinkID][]int32)}
 	for i, r := range reports {
 		for _, l := range r.Path {
-			o.byLink[l] = append(o.byLink[l], i)
+			o.byLink[l] = append(o.byLink[l], int32(base+i))
 		}
 	}
 	return o
+}
+
+// Merge folds shard other into o. Call in ascending-base order to reproduce
+// the sequential index layout (Fraction itself is order-insensitive, so any
+// order gives the same ratios — ascending order just keeps lists sorted).
+func (o *ObservedAdjuster) Merge(other *ObservedAdjuster) {
+	if other == nil {
+		return
+	}
+	for l, idx := range other.byLink {
+		o.byLink[l] = append(o.byLink[l], idx...)
+	}
 }
 
 // Begin implements Adjuster.
 func (o *ObservedAdjuster) Begin(lmax topology.LinkID) {
 	idx := o.byLink[lmax]
 	o.nmax = len(idx)
-	o.onMax = make(map[int]bool, len(idx))
+	o.onMax = make(map[int32]bool, len(idx))
 	for _, i := range idx {
 		o.onMax[i] = true
 	}
@@ -136,20 +160,22 @@ func FindProblemLinks(t *Tally, opts DetectOptions) []topology.LinkID {
 		total += v
 	}
 	cutoff := opts.ThresholdFrac * total
-	inB := make(map[topology.LinkID]bool)
+	inB := make([]bool, len(votes))
 	var b []topology.LinkID
 	for {
 		if opts.MaxLinks > 0 && len(b) >= opts.MaxLinks {
 			return b
 		}
+		// Ascending index scan keeps the old tie-break: equal votes go to
+		// the lower link ID.
 		lmax := topology.NoLink
 		vmax := 0.0
 		for l, v := range votes {
-			if inB[l] {
+			if inB[l] || v <= 0 {
 				continue
 			}
-			if v > vmax || (v == vmax && v > 0 && (lmax == topology.NoLink || l < lmax)) {
-				lmax, vmax = l, v
+			if v > vmax {
+				lmax, vmax = topology.LinkID(l), v
 			}
 		}
 		if lmax == topology.NoLink || total <= 0 || vmax < cutoff {
@@ -159,10 +185,10 @@ func FindProblemLinks(t *Tally, opts DetectOptions) []topology.LinkID {
 		b = append(b, lmax)
 		adj.Begin(lmax)
 		for l := range votes {
-			if inB[l] {
+			if inB[l] || votes[l] == 0 {
 				continue
 			}
-			if f := adj.Fraction(l); f > 0 {
+			if f := adj.Fraction(topology.LinkID(l)); f > 0 {
 				votes[l] -= vmax * f
 				if votes[l] < 0 {
 					votes[l] = 0
@@ -188,12 +214,20 @@ type Verdict struct {
 // marks flows whose path avoids every detected problem link — drops 007
 // attributes to background noise rather than a failure.
 func ClassifyFlows(t *Tally, detected []topology.LinkID, reports []Report) []Verdict {
+	out := make([]Verdict, len(reports))
+	ClassifyFlowsInto(out, t, detected, reports)
+	return out
+}
+
+// ClassifyFlowsInto writes reports' verdicts into dst (which must have
+// len(reports) slots) — the allocation-free form parallel classification
+// uses to let each chunk fill its own slice of a shared verdict vector.
+func ClassifyFlowsInto(dst []Verdict, t *Tally, detected []topology.LinkID, reports []Report) {
 	inB := make(map[topology.LinkID]bool, len(detected))
 	for _, l := range detected {
 		inB[l] = true
 	}
-	out := make([]Verdict, 0, len(reports))
-	for _, r := range reports {
+	for i, r := range reports {
 		v := Verdict{FlowID: r.FlowID, Link: topology.NoLink, Noise: true}
 		if blame, ok := t.BlameOnPath(r.Path); ok {
 			v.Link = blame
@@ -204,7 +238,6 @@ func ClassifyFlows(t *Tally, detected []topology.LinkID, reports []Report) []Ver
 				break
 			}
 		}
-		out = append(out, v)
+		dst[i] = v
 	}
-	return out
 }

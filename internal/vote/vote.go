@@ -6,6 +6,13 @@
 // are tallied per 30-second epoch; the tally ranks links by likely drop
 // rate (Theorem 2), names the most likely cause of each individual flow's
 // drops, and — via Algorithm 1 — yields the set of problematic links.
+//
+// Tallies are slice-backed (dense by LinkID) and mergeable: shard-local
+// tallies built by concurrent workers combine with Merge without a global
+// lock. Merging partials in a fixed shard order makes the floating-point
+// sums worker-count-independent (identical for identical shard splits);
+// they are the fixed-chunk reduction's sums, which can differ from a flat
+// sequential AddAll by reassociation at the 1-ulp level.
 package vote
 
 import (
@@ -33,16 +40,41 @@ type LinkVotes struct {
 	Votes float64
 }
 
-// Tally accumulates votes over one epoch.
+// Tally accumulates votes over one epoch. It is backed by a dense slice
+// indexed by LinkID, grown on demand, so lookups are branch-plus-load and
+// two tallies merge with one elementwise pass. A Tally is not safe for
+// concurrent use; build one per shard and Merge them.
 type Tally struct {
-	votes map[topology.LinkID]float64
+	votes []float64 // dense by LinkID
+	voted int       // links with non-zero tallies
 	flows int
 	total float64
 }
 
-// NewTally returns an empty tally.
-func NewTally() *Tally {
-	return &Tally{votes: make(map[topology.LinkID]float64)}
+// NewTally returns an empty tally that grows as links are voted on.
+func NewTally() *Tally { return &Tally{} }
+
+// grow ensures the dense slice covers link l, doubling capacity so a
+// stream of ascending link IDs costs amortized O(1) per element instead of
+// a full copy per new maximum.
+func (t *Tally) grow(l topology.LinkID) {
+	need := int(l) + 1
+	if need <= len(t.votes) {
+		return
+	}
+	if need <= cap(t.votes) {
+		old := len(t.votes)
+		t.votes = t.votes[:need]
+		clear(t.votes[old:])
+		return
+	}
+	newcap := 2 * cap(t.votes)
+	if newcap < need {
+		newcap = need
+	}
+	votes := make([]float64, need, newcap)
+	copy(votes, t.votes)
+	t.votes = votes
 }
 
 // Add casts r's votes: 1/h per path link, h = len(Path). Reports with empty
@@ -55,6 +87,13 @@ func (t *Tally) Add(r Report) {
 	}
 	v := 1.0 / float64(h)
 	for _, l := range r.Path {
+		if l < 0 {
+			continue // NoLink placeholders vote nowhere
+		}
+		t.grow(l)
+		if t.votes[l] == 0 {
+			t.voted++
+		}
 		t.votes[l] += v
 	}
 	t.total += 1
@@ -67,8 +106,36 @@ func (t *Tally) AddAll(rs []Report) {
 	}
 }
 
+// Merge folds o's votes into t. Merging per-shard tallies in shard order
+// yields worker-count-independent sums: each link's total is the ordered
+// sum of its per-shard partials. o is left unmodified.
+func (t *Tally) Merge(o *Tally) {
+	if o == nil {
+		return
+	}
+	if n := len(o.votes); n > 0 {
+		t.grow(topology.LinkID(n - 1))
+	}
+	for l, v := range o.votes {
+		if v == 0 {
+			continue
+		}
+		if t.votes[l] == 0 {
+			t.voted++
+		}
+		t.votes[l] += v
+	}
+	t.flows += o.flows
+	t.total += o.total
+}
+
 // Votes returns link l's tally.
-func (t *Tally) Votes(l topology.LinkID) float64 { return t.votes[l] }
+func (t *Tally) Votes(l topology.LinkID) float64 {
+	if l < 0 || int(l) >= len(t.votes) {
+		return 0
+	}
+	return t.votes[l]
+}
 
 // Total returns the sum of all votes cast. Each fully traced failed flow
 // contributes exactly 1 (h links × 1/h each).
@@ -78,14 +145,14 @@ func (t *Tally) Total() float64 { return t.total }
 func (t *Tally) Flows() int { return t.flows }
 
 // Len returns the number of links with non-zero tallies.
-func (t *Tally) Len() int { return len(t.votes) }
+func (t *Tally) Len() int { return t.voted }
 
-// Snapshot copies the tally map, for mutation by Algorithm 1.
-func (t *Tally) Snapshot() map[topology.LinkID]float64 {
-	m := make(map[topology.LinkID]float64, len(t.votes))
-	for l, v := range t.votes {
-		m[l] = v
-	}
+// Snapshot copies the dense vote vector, for mutation by Algorithm 1.
+// Index i holds LinkID i's tally; links beyond the highest voted ID are
+// simply absent.
+func (t *Tally) Snapshot() []float64 {
+	m := make([]float64, len(t.votes))
+	copy(m, t.votes)
 	return m
 }
 
@@ -95,11 +162,11 @@ func (t *Tally) Ranking() []LinkVotes {
 	return rankVotes(t.votes)
 }
 
-func rankVotes(votes map[topology.LinkID]float64) []LinkVotes {
+func rankVotes(votes []float64) []LinkVotes {
 	out := make([]LinkVotes, 0, len(votes))
 	for l, v := range votes {
 		if v > 0 {
-			out = append(out, LinkVotes{Link: l, Votes: v})
+			out = append(out, LinkVotes{Link: topology.LinkID(l), Votes: v})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -118,11 +185,14 @@ func (t *Tally) BlameOnPath(path []topology.LinkID) (blame topology.LinkID, ok b
 	return blameOnPath(t.votes, path)
 }
 
-func blameOnPath(votes map[topology.LinkID]float64, path []topology.LinkID) (topology.LinkID, bool) {
+func blameOnPath(votes []float64, path []topology.LinkID) (topology.LinkID, bool) {
 	best := topology.NoLink
 	bestV := 0.0
 	for _, l := range path {
-		v := votes[l]
+		var v float64
+		if l >= 0 && int(l) < len(votes) {
+			v = votes[l]
+		}
 		if v > bestV || (v == bestV && v > 0 && (best == topology.NoLink || l < best)) {
 			best, bestV = l, v
 		}

@@ -62,6 +62,111 @@ func TestTallyConservation(t *testing.T) {
 	}
 }
 
+// Shard-local tallies merged in shard order must reproduce a sequential
+// pass: same flows, same totals, and vote sums equal to within the
+// reassociation of per-shard partials (exact when links don't straddle
+// shards, 1-ulp-class otherwise).
+func TestTallyMergeMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(7)
+	var reports []Report
+	for i := 0; i < 200; i++ {
+		h := 1 + rng.Intn(6)
+		path := make([]topology.LinkID, h)
+		for j := range path {
+			path[j] = topology.LinkID(rng.Intn(50))
+		}
+		reports = append(reports, report(int64(i), 1, path...))
+	}
+	seq := NewTally()
+	seq.AddAll(reports)
+	for _, nshards := range []int{1, 2, 3, 7} {
+		merged := NewTally()
+		size := (len(reports) + nshards - 1) / nshards
+		for lo := 0; lo < len(reports); lo += size {
+			hi := min(lo+size, len(reports))
+			shard := NewTally()
+			shard.AddAll(reports[lo:hi])
+			merged.Merge(shard)
+		}
+		if merged.Flows() != seq.Flows() || merged.Len() != seq.Len() {
+			t.Fatalf("%d shards: flows/len %d/%d, want %d/%d",
+				nshards, merged.Flows(), merged.Len(), seq.Flows(), seq.Len())
+		}
+		if math.Abs(merged.Total()-seq.Total()) > 1e-9 {
+			t.Fatalf("%d shards: total %v, want %v", nshards, merged.Total(), seq.Total())
+		}
+		for l := topology.LinkID(0); l < 50; l++ {
+			if math.Abs(merged.Votes(l)-seq.Votes(l)) > 1e-9 {
+				t.Fatalf("%d shards: link %d votes %v, want %v", nshards, l, merged.Votes(l), seq.Votes(l))
+			}
+		}
+	}
+}
+
+// Merging identical shard splits must be bit-exact — the property the
+// fixed-chunk analysis pipeline relies on for cross-parallelism determinism.
+func TestTallyMergeBitExactForFixedChunks(t *testing.T) {
+	rng := stats.NewRNG(8)
+	var reports []Report
+	for i := 0; i < 300; i++ {
+		h := 1 + rng.Intn(6)
+		path := make([]topology.LinkID, h)
+		for j := range path {
+			path[j] = topology.LinkID(rng.Intn(40))
+		}
+		reports = append(reports, report(int64(i), 1, path...))
+	}
+	build := func() *Tally {
+		const chunk = 64
+		merged := NewTally()
+		for lo := 0; lo < len(reports); lo += chunk {
+			hi := min(lo+chunk, len(reports))
+			shard := NewTally()
+			shard.AddAll(reports[lo:hi])
+			merged.Merge(shard)
+		}
+		return merged
+	}
+	a, b := build(), build()
+	for l := topology.LinkID(0); l < 40; l++ {
+		if a.Votes(l) != b.Votes(l) {
+			t.Fatalf("link %d: fixed-chunk merge not bit-exact", l)
+		}
+	}
+}
+
+// A merged observed adjuster must hand Algorithm 1 the same overlap
+// fractions as one built sequentially.
+func TestObservedAdjusterShardMerge(t *testing.T) {
+	rng := stats.NewRNG(9)
+	var reports []Report
+	for i := 0; i < 120; i++ {
+		path := []topology.LinkID{
+			topology.LinkID(rng.Intn(5)),
+			topology.LinkID(10 + rng.Intn(5)),
+			topology.LinkID(20 + rng.Intn(5)),
+		}
+		reports = append(reports, report(int64(i), 1, path...))
+	}
+	seq := NewObservedAdjuster(reports)
+	merged := NewObservedAdjusterShard(nil, 0)
+	const chunk = 32
+	for lo := 0; lo < len(reports); lo += chunk {
+		hi := min(lo+chunk, len(reports))
+		merged.Merge(NewObservedAdjusterShard(reports[lo:hi], lo))
+	}
+	for lmax := topology.LinkID(0); lmax < 25; lmax++ {
+		seq.Begin(lmax)
+		merged.Begin(lmax)
+		for k := topology.LinkID(0); k < 25; k++ {
+			if seq.Fraction(k) != merged.Fraction(k) {
+				t.Fatalf("Begin(%d).Fraction(%d): merged %v, sequential %v",
+					lmax, k, merged.Fraction(k), seq.Fraction(k))
+			}
+		}
+	}
+}
+
 func TestRankingOrderAndTies(t *testing.T) {
 	tl := NewTally()
 	tl.Add(report(1, 1, 5, 6))       // 0.5 each

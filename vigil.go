@@ -164,14 +164,20 @@ type SimConfig struct {
 	Detect DetectOptions
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Parallelism is the worker count of the epoch pipeline (simulation,
+	// vote tallying and verdict classification); 0 means
+	// runtime.GOMAXPROCS(0). Epoch results are bit-identical at every
+	// setting — the knob only trades cores for wall-clock.
+	Parallelism int
 }
 
 // Simulation is the flow-level plane: inject failures, run 30-second
 // epochs, get rankings, detections and per-flow verdicts scored against
 // ground truth.
 type Simulation struct {
-	sim    *netem.Sim
-	detect DetectOptions
+	sim         *netem.Sim
+	detect      DetectOptions
+	parallelism int
 }
 
 // NewSimulation builds a Simulation.
@@ -199,6 +205,7 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 		NoiseHi:       noiseHi,
 		TracerouteCap: cfg.TracerouteCap,
 		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -207,7 +214,7 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if detect.ThresholdFrac == 0 {
 		detect.ThresholdFrac = 0.01
 	}
-	return &Simulation{sim: sim, detect: detect}, nil
+	return &Simulation{sim: sim, detect: detect, parallelism: cfg.Parallelism}, nil
 }
 
 // Topology returns the simulated network.
@@ -246,10 +253,12 @@ type EpochReport struct {
 	TotalDrops  int
 }
 
-// RunEpoch simulates one 30-second epoch and analyzes it.
+// RunEpoch simulates one 30-second epoch and analyzes it. The whole cycle
+// — simulate, tally, detect, classify — fans out over SimConfig.Parallelism
+// workers with deterministic (worker-count-independent) results.
 func (s *Simulation) RunEpoch() *EpochReport {
 	ep := s.sim.RunEpoch()
-	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: s.detect})
+	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: s.detect, Parallelism: s.parallelism})
 	score := metrics.ScoreVerdicts(res.Verdicts, ep.Truth())
 	return &EpochReport{
 		Ranking:     res.Ranking,

@@ -1,6 +1,7 @@
 package vigil_test
 
 import (
+	"reflect"
 	"testing"
 
 	"vigil"
@@ -33,6 +34,50 @@ func TestSimulationFacade(t *testing.T) {
 	rep2 := sim.RunEpoch()
 	if len(rep2.FailedLinks) != 0 {
 		t.Fatal("failures not cleared")
+	}
+}
+
+// The determinism contract of the parallel epoch engine, end to end: a
+// seeded epoch's full 007 output — ranking, detections, verdicts and ground
+// truth — must be bit-identical at every Parallelism setting.
+func TestEpochDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) *vigil.EpochReport {
+		sim, err := vigil.NewSimulation(vigil.SimConfig{
+			Topology: vigil.TopologyConfig{
+				Pods: 2, ToRsPerPod: 8, T1PerPod: 6, T2: 4, HostsPerToR: 8,
+			},
+			Seed:        99,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := sim.Topology()
+		sim.InjectFailure(topo.LinksOfClass(vigil.L1Up)[4], 0.01)
+		sim.InjectFailure(topo.LinksOfClass(vigil.L2Down)[2], 0.004)
+		return sim.RunEpoch()
+	}
+	want := run(1)
+	if want.TotalDrops == 0 || len(want.Ranking) == 0 {
+		t.Fatal("epoch produced no signal to compare")
+	}
+	for _, parallelism := range []int{2, 8} {
+		got := run(parallelism)
+		if !reflect.DeepEqual(want.Ranking, got.Ranking) {
+			t.Fatalf("Parallelism %d changed the ranking", parallelism)
+		}
+		if !reflect.DeepEqual(want.Detected, got.Detected) {
+			t.Fatalf("Parallelism %d changed detections: %v vs %v", parallelism, want.Detected, got.Detected)
+		}
+		if !reflect.DeepEqual(want.Verdicts, got.Verdicts) {
+			t.Fatalf("Parallelism %d changed verdicts", parallelism)
+		}
+		if want.TotalDrops != got.TotalDrops {
+			t.Fatalf("Parallelism %d changed TotalDrops: %d vs %d", parallelism, want.TotalDrops, got.TotalDrops)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("Parallelism %d changed the epoch report", parallelism)
+		}
 	}
 }
 
