@@ -1,0 +1,109 @@
+// vigil-bench converts `go test -bench -benchmem` output on stdin into the
+// repo's benchmark-trajectory JSON (BENCH_N.json): one record per benchmark
+// with ns/op, B/op and allocs/op, plus the host metadata Go prints. CI runs
+// it after the epoch benchmarks so every PR leaves a machine-readable perf
+// point behind:
+//
+//	go test -run XXX -bench 'Epoch' -benchmem . | vigil-bench > BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the emitted document.
+type Output struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var out Output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			out.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-bench:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "vigil-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one benchmark result line, e.g.
+//
+//	BenchmarkEpochParallel/1-8  5  14927332 ns/op  2288324 B/op  477 allocs/op
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix Go appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

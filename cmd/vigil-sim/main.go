@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vigil"
 	"vigil/internal/stats"
@@ -30,7 +32,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	top := flag.Int("top", 10, "ranking entries to print")
 	parallel := flag.Int("par", 0, "epoch pipeline workers (0 = all cores); results are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the epoch loop to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the last epoch) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sim, err := vigil.NewSimulation(vigil.SimConfig{
 		Topology: vigil.TopologyConfig{
@@ -81,5 +99,24 @@ func main() {
 		}
 		fmt.Printf("per-flow accuracy %.1f%% over %d failure-crossing flows; precision %.2f recall %.2f\n",
 			rep.Accuracy*100, rep.FlowsScored, rep.Detection.Precision, rep.Detection.Recall)
+	}
+
+	if *memprofile != "" {
+		fail := func(err error) {
+			// Flush the CPU profile (no-op if none is running) before
+			// exiting, or a memprofile error would discard it too.
+			pprof.StopCPUProfile()
+			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

@@ -69,34 +69,85 @@ func (r *Router) NextHopLink(sw topology.SwitchID, t FiveTuple, dst topology.Hos
 // links, so hitting the bound means the forwarding state is inconsistent.
 const maxHops = 8
 
-// Path resolves the full route from src to dst for tuple t.
+// MaxPathLinks bounds the link count of any resolved path: a Clos
+// host-to-host route has at most 6 links (host→ToR→T1→T2→T1→ToR→host), and
+// resolution aborts past maxHops switch hops regardless. Fixed-size per-flow
+// scratch (PathBuf, per-link drop vectors) is sized by this constant.
+const MaxPathLinks = maxHops + 1
+
+// PathBuf is a caller-owned, reusable buffer that PathInto resolves into.
+// It exists so the epoch hot path can route millions of flows without a
+// single heap allocation: each simulator worker keeps one PathBuf and
+// overwrites it per flow. The Links/Switches accessors return views into the
+// buffer — valid only until the next PathInto call on the same buffer;
+// callers that keep a path must copy it out (see netem's outcome arenas).
+type PathBuf struct {
+	links    [MaxPathLinks]topology.LinkID
+	switches [MaxPathLinks]topology.SwitchID
+	nl, ns   int
+}
+
+// Links returns the resolved links in traversal order, host uplink first.
+// The slice aliases the buffer.
+func (b *PathBuf) Links() []topology.LinkID { return b.links[:b.nl] }
+
+// Switches returns the switches visited in order. The slice aliases the
+// buffer.
+func (b *PathBuf) Switches() []topology.SwitchID { return b.switches[:b.ns] }
+
+// Len returns the number of links, the h of the paper's 1/h vote value.
+func (b *PathBuf) Len() int { return b.nl }
+
+// PathInto resolves the full route from src to dst for tuple t into buf,
+// overwriting its previous contents. It performs no heap allocation on the
+// success path and resolves the exact same route as Path.
 // Same-host src/dst is an error; the paper's traffic model never produces it.
-func (r *Router) Path(src, dst topology.HostID, t FiveTuple) (Path, error) {
+func (r *Router) PathInto(src, dst topology.HostID, t FiveTuple, buf *PathBuf) error {
 	if src == dst {
-		return Path{}, fmt.Errorf("ecmp: src and dst are both host %d", src)
+		buf.nl, buf.ns = 0, 0
+		return fmt.Errorf("ecmp: src and dst are both host %d", src)
 	}
 	topo := r.Topo
-	p := Path{
-		Links:    make([]topology.LinkID, 0, 6),
-		Switches: make([]topology.SwitchID, 0, 5),
-	}
-	p.Links = append(p.Links, topo.Hosts[src].Uplink)
+	buf.links[0] = topo.Hosts[src].Uplink
+	buf.nl, buf.ns = 1, 0
 	cur := topo.Hosts[src].ToR
 	for hop := 0; hop < maxHops; hop++ {
-		p.Switches = append(p.Switches, cur)
+		buf.switches[buf.ns] = cur
+		buf.ns++
 		link, err := r.NextHopLink(cur, t, dst)
 		if err != nil {
-			return Path{}, err
+			buf.nl, buf.ns = 0, 0
+			return err
 		}
-		p.Links = append(p.Links, link)
+		buf.links[buf.nl] = link
+		buf.nl++
 		to := topo.Links[link].To
 		if to.Kind == topology.NodeHost {
 			if topology.HostID(to.ID) != dst {
-				return Path{}, fmt.Errorf("ecmp: delivered to host %d, want %d", to.ID, dst)
+				buf.nl, buf.ns = 0, 0
+				return fmt.Errorf("ecmp: delivered to host %d, want %d", to.ID, dst)
 			}
-			return p, nil
+			return nil
 		}
 		cur = topology.SwitchID(to.ID)
 	}
-	return Path{}, fmt.Errorf("ecmp: path from %d to %d exceeded %d hops", src, dst, maxHops)
+	buf.nl, buf.ns = 0, 0
+	return fmt.Errorf("ecmp: path from %d to %d exceeded %d hops", src, dst, maxHops)
+}
+
+// Path resolves the full route from src to dst for tuple t. It is the
+// allocating convenience form of PathInto — cold paths (traceroute CLIs, the
+// packet plane) keep using it; the simulator hot path uses PathInto.
+func (r *Router) Path(src, dst topology.HostID, t FiveTuple) (Path, error) {
+	var buf PathBuf
+	if err := r.PathInto(src, dst, t, &buf); err != nil {
+		return Path{}, err
+	}
+	p := Path{
+		Links:    make([]topology.LinkID, buf.nl),
+		Switches: make([]topology.SwitchID, buf.ns),
+	}
+	copy(p.Links, buf.links[:buf.nl])
+	copy(p.Switches, buf.switches[:buf.ns])
+	return p, nil
 }

@@ -1,14 +1,23 @@
 // Package netem is the flow-level network simulator of the paper's §6
 // evaluation (the Go equivalent of the authors' MATLAB simulator [25]).
 //
-// Each epoch it generates flows, resolves their ECMP paths, and walks every
-// flow's packets down its path sampling per-link drops: link i sees only
-// the packets that survived links 1..i-1, and drops of them a
-// Binomial(survivors, rate_i) share. Good links drop at a noise rate drawn
-// uniformly from (0, 1e-6) by default; failed links at injected rates. The
-// simulator records complete ground truth — which link dropped how many of
-// which flow's packets — against which 007 and the optimization baselines
-// are scored.
+// Each epoch it generates flows, resolves their ECMP paths, and samples
+// every flow's packet drops: link i sees only the packets that survived
+// links 1..i-1, and drops of them a Binomial(survivors, rate_i) share. Good
+// links drop at a noise rate drawn uniformly from (0, 1e-6) by default;
+// failed links at injected rates. The simulator records complete ground
+// truth — which link dropped how many of which flow's packets — against
+// which 007 and the optimization baselines are scored.
+//
+// The per-flow hot path is survival-gated and allocation-free: a single
+// uniform draw against the precomputed whole-path survival probability
+// pNoDrop = exp(packets · Σ log(1-rate_l)) decides whether the flow loses
+// anything at all, and only the rare flow that does falls through to the
+// exact per-link conditional Binomial cascade (rejection-resampled until
+// nonzero, which leaves the joint drop distribution unchanged). Paths
+// resolve into per-worker fixed-size buffers, failed-flow state is copied
+// into per-worker arenas, and all per-epoch scratch is owned by the Sim —
+// see DESIGN.md ("Hot-path memory model").
 //
 // Epochs run as a deterministic parallel pipeline: flows are split into
 // fixed-size chunks fanned out over Config.Parallelism workers, every flow
@@ -21,6 +30,7 @@ package netem
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"vigil/internal/ecmp"
@@ -62,7 +72,24 @@ type Sim struct {
 	rng      *stats.RNG
 	noise    []float64 // per-link noise rate
 	rate     []float64 // per-link effective rate (noise or failure)
+	logq     []float64 // per-link log1p(-rate), the survival-gate summands
+	isFailed []bool    // dense failure flags, indexed by LinkID
 	failures map[topology.LinkID]float64
+
+	// failedSorted caches the sorted failure snapshot; failedDirty marks it
+	// stale after Inject/Clear. The cached slice is never mutated in place —
+	// invalidation rebuilds a fresh slice — so epochs may hold it by
+	// reference.
+	failedSorted []topology.LinkID
+	failedDirty  bool
+
+	// Per-epoch scratch, reused across RunEpoch calls (a Sim is not safe for
+	// concurrent RunEpoch anyway): worker shards, the per-chunk outcome
+	// table, the dense traceroute budget and the flow-generation buffers.
+	shards        []epochShard
+	failedByChunk [][]FlowOutcome
+	budget        []int32 // per-host traced-flow counts, dense by HostID
+	gen           traffic.GenScratch
 }
 
 // New builds a simulator, drawing per-link noise rates.
@@ -77,18 +104,23 @@ func New(cfg Config) (*Sim, error) {
 		cfg.Workload = traffic.DefaultWorkload()
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	nlinks := len(cfg.Topo.Links)
 	s := &Sim{
 		cfg:      cfg,
 		topo:     cfg.Topo,
 		router:   ecmp.NewRouter(cfg.Topo, ecmp.NewSeeds(cfg.Topo, rng.Split())),
 		rng:      rng,
-		noise:    make([]float64, len(cfg.Topo.Links)),
-		rate:     make([]float64, len(cfg.Topo.Links)),
+		noise:    make([]float64, nlinks),
+		rate:     make([]float64, nlinks),
+		logq:     make([]float64, nlinks),
+		isFailed: make([]bool, nlinks),
 		failures: make(map[topology.LinkID]float64),
+		budget:   make([]int32, len(cfg.Topo.Hosts)),
 	}
 	for i := range s.noise {
 		s.noise[i] = rng.Uniform(cfg.NoiseLo, cfg.NoiseHi)
 		s.rate[i] = s.noise[i]
+		s.logq[i] = math.Log1p(-s.noise[i])
 	}
 	return s, nil
 }
@@ -99,33 +131,57 @@ func (s *Sim) Topology() *topology.Topology { return s.topo }
 // Router returns the simulator's ECMP router.
 func (s *Sim) Router() *ecmp.Router { return s.router }
 
+// setRate updates every per-link view of link l's drop rate: the effective
+// rate, the survival-gate log term and the dense failure flag.
+func (s *Sim) setRate(l topology.LinkID, rate float64, failed bool) {
+	s.rate[l] = rate
+	s.logq[l] = math.Log1p(-rate)
+	s.isFailed[l] = failed
+	s.failedDirty = true
+}
+
 // InjectFailure sets link l's drop rate, replacing its noise rate.
 func (s *Sim) InjectFailure(l topology.LinkID, rate float64) {
 	s.failures[l] = rate
-	s.rate[l] = rate
+	s.setRate(l, rate, true)
 }
 
 // ClearFailure restores link l to its noise rate.
 func (s *Sim) ClearFailure(l topology.LinkID) {
 	delete(s.failures, l)
-	s.rate[l] = s.noise[l]
+	s.setRate(l, s.noise[l], false)
 }
 
 // ClearAllFailures restores every link to its noise rate.
 func (s *Sim) ClearAllFailures() {
 	for l := range s.failures {
-		s.rate[l] = s.noise[l]
+		s.setRate(l, s.noise[l], false)
 		delete(s.failures, l)
 	}
 }
 
-// FailedLinks returns the injected failures, sorted by link for stability.
-func (s *Sim) FailedLinks() []topology.LinkID {
-	out := make([]topology.LinkID, 0, len(s.failures))
-	for l := range s.failures {
-		out = append(out, l)
+// failedSnapshot returns the cached sorted failure set, rebuilding it only
+// after an Inject/Clear. The returned slice must not be mutated: it is
+// shared with every Epoch simulated until the next invalidation.
+func (s *Sim) failedSnapshot() []topology.LinkID {
+	if s.failedDirty || s.failedSorted == nil {
+		out := make([]topology.LinkID, 0, len(s.failures))
+		for l := range s.failures {
+			out = append(out, l)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		s.failedSorted = out
+		s.failedDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return s.failedSorted
+}
+
+// FailedLinks returns the injected failures, sorted by link for stability.
+// The caller owns the returned slice.
+func (s *Sim) FailedLinks() []topology.LinkID {
+	snap := s.failedSnapshot()
+	out := make([]topology.LinkID, len(snap))
+	copy(out, snap)
 	return out
 }
 
@@ -154,7 +210,9 @@ type Epoch struct {
 	// LinkDrops is the ground-truth number of packets each link dropped,
 	// dense and indexed by LinkID (merged from the per-shard counters).
 	LinkDrops []int64
-	// FailedLinks snapshots the injected failures during this epoch.
+	// FailedLinks snapshots the injected failures during this epoch. It may
+	// share storage with other epochs of the same Sim; treat it as
+	// read-only.
 	FailedLinks []topology.LinkID
 
 	TotalFlows   int
@@ -174,7 +232,53 @@ const flowChunk = 1024
 // that generated it.
 const dropDomain = 0xd6e8feb86659fd93
 
-// epochShard accumulates one worker's slice of the epoch ground truth.
+// arenaBlock sizes the outcome arenas' allocation blocks, in path links.
+// One block holds the Path+DropsByLink storage of ~80 failed flows, so an
+// epoch's rare failures cost a handful of block allocations instead of two
+// slice allocations per outcome.
+const arenaBlock = 512
+
+// outcomeArena block-allocates the Path and DropsByLink storage of failed
+// flows. Each worker owns one; alloc hands out stable sub-slices of the
+// current block and starts a fresh block when full, so previously returned
+// slices are never moved or aliased. Blocks escape into the Epoch with the
+// outcomes that point into them, which is why reset drops the block
+// reference instead of rewinding it.
+type outcomeArena struct {
+	links []topology.LinkID
+	drops []uint16
+}
+
+// reset forgets the current blocks. The previous epoch's outcomes keep the
+// old blocks alive; the new epoch starts clean.
+func (a *outcomeArena) reset() { a.links, a.drops = nil, nil }
+
+// copyPath copies src into arena-backed storage and returns the copy.
+func (a *outcomeArena) copyPath(src []topology.LinkID) []topology.LinkID {
+	n := len(src)
+	if len(a.links)+n > cap(a.links) {
+		a.links = make([]topology.LinkID, 0, arenaBlock)
+	}
+	dst := a.links[len(a.links) : len(a.links)+n : len(a.links)+n]
+	a.links = a.links[:len(a.links)+n]
+	copy(dst, src)
+	return dst
+}
+
+// copyDrops copies src into arena-backed storage and returns the copy.
+func (a *outcomeArena) copyDrops(src []uint16) []uint16 {
+	n := len(src)
+	if len(a.drops)+n > cap(a.drops) {
+		a.drops = make([]uint16, 0, arenaBlock)
+	}
+	dst := a.drops[len(a.drops) : len(a.drops)+n : len(a.drops)+n]
+	a.drops = a.drops[:len(a.drops)+n]
+	copy(dst, src)
+	return dst
+}
+
+// epochShard accumulates one worker's slice of the epoch ground truth plus
+// the worker's reusable scratch (path buffer, per-flow RNG, outcome arena).
 // The counters are order-free integer sums, so one shard per *worker*
 // suffices (O(workers × links) memory, not O(chunks × links)); only the
 // per-chunk FlowOutcome lists are order-sensitive and those are keyed by
@@ -184,30 +288,61 @@ type epochShard struct {
 	drops   []int64 // dense by LinkID
 	packets int
 	dropped int
-	_       [104]byte
+	pathBuf ecmp.PathBuf
+	rng     stats.RNG
+	arena   outcomeArena
+	_       [64]byte
 }
 
-// RunEpoch simulates one epoch: generate flows sequentially, fan chunks out
-// to workers that sample each flow from its own (epoch seed, flow index)
-// RNG stream, merge the shard-local counters in chunk order, then apply the
-// order-sensitive traceroute budget in a sequential flow-order pass.
+// epochScratch (re)sizes the Sim-owned shard and chunk scratch for an epoch
+// of nflows flows, zeroing the counters carried over from the last epoch.
+func (s *Sim) epochScratch(nflows int) (shards []epochShard, failedByChunk [][]FlowOutcome) {
+	nworkers := par.Workers(s.cfg.Parallelism)
+	if len(s.shards) != nworkers {
+		s.shards = make([]epochShard, nworkers)
+	}
+	nlinks := len(s.topo.Links)
+	for w := range s.shards {
+		sh := &s.shards[w]
+		if sh.drops == nil {
+			sh.drops = make([]int64, nlinks)
+		} else {
+			clear(sh.drops)
+		}
+		sh.packets, sh.dropped = 0, 0
+		sh.arena.reset()
+	}
+	nchunks := par.Chunks(nflows, flowChunk)
+	if cap(s.failedByChunk) < nchunks {
+		s.failedByChunk = make([][]FlowOutcome, nchunks)
+	}
+	// Clear through cap, not just nchunks: a shorter epoch must not leave
+	// stale tail entries pinning the previous epoch's outcomes and arena
+	// blocks.
+	clear(s.failedByChunk[:cap(s.failedByChunk)])
+	s.failedByChunk = s.failedByChunk[:nchunks]
+	return s.shards, s.failedByChunk
+}
+
+// RunEpoch simulates one epoch: generate flows into the reusable scratch,
+// fan chunks out to workers that sample each flow from its own (epoch seed,
+// flow index) RNG stream, merge the shard-local counters in chunk order,
+// then apply the order-sensitive traceroute budget in a sequential
+// flow-order pass. Steady-state epochs (no failed flows) allocate O(1)
+// memory regardless of flow count.
 func (s *Sim) RunEpoch() *Epoch {
 	// One draw advances the per-epoch stream exactly like the old Split().
 	epochSeed := s.rng.Uint64()
-	flows := s.cfg.Workload.GenerateParallel(epochSeed, s.topo, s.cfg.Parallelism)
+	flows := s.cfg.Workload.GenerateParallelInto(&s.gen, epochSeed, s.topo, s.cfg.Parallelism)
 	nlinks := len(s.topo.Links)
 	ep := &Epoch{
 		LinkDrops:   make([]int64, nlinks),
-		FailedLinks: s.FailedLinks(),
+		FailedLinks: s.failedSnapshot(),
 		TotalFlows:  len(flows),
 	}
-	shards := make([]epochShard, par.Workers(s.cfg.Parallelism))
-	failedByChunk := make([][]FlowOutcome, par.Chunks(len(flows), flowChunk))
+	shards, failedByChunk := s.epochScratch(len(flows))
 	par.ForEachChunkWorker(len(flows), flowChunk, s.cfg.Parallelism, func(w, c, lo, hi int) {
 		sh := &shards[w]
-		if sh.drops == nil {
-			sh.drops = make([]int64, nlinks)
-		}
 		var failed []FlowOutcome
 		for fi := lo; fi < hi; fi++ {
 			failed = s.simFlow(sh, failed, epochSeed, int64(fi), flows[fi])
@@ -216,33 +351,42 @@ func (s *Sim) RunEpoch() *Epoch {
 	})
 	// Merge: integer counter sums are order-free across workers, and the
 	// per-chunk outcome lists concatenate in chunk order, restoring
-	// ascending flow-index order.
+	// ascending flow-index order. Sizing happens in one pass up front so
+	// Failed and Reports never regrow.
+	totalFailed := 0
+	for _, failed := range failedByChunk {
+		totalFailed += len(failed)
+	}
 	for w := range shards {
 		sh := &shards[w]
-		if sh.drops == nil {
-			continue
-		}
 		ep.TotalPackets += sh.packets
 		ep.TotalDrops += sh.dropped
 		for l, d := range sh.drops {
 			ep.LinkDrops[l] += d
 		}
 	}
-	for _, failed := range failedByChunk {
-		ep.Failed = append(ep.Failed, failed...)
+	if totalFailed > 0 {
+		ep.Failed = make([]FlowOutcome, 0, totalFailed)
+		for _, failed := range failedByChunk {
+			ep.Failed = append(ep.Failed, failed...)
+		}
+		ep.Reports = make([]vote.Report, 0, totalFailed)
 	}
 	// The traceroute budget is inherently sequential — whether flow i gets
 	// traced depends on how many earlier failed flows its host already
-	// traced — so it runs as a post-pass over the merged, ordered outcomes.
-	budget := make(map[topology.HostID]int)
+	// traced — so it runs as a post-pass over the merged, ordered outcomes,
+	// counting per host in the Sim's dense reusable budget vector.
+	if s.cfg.TracerouteCap > 0 && totalFailed > 0 {
+		clear(s.budget)
+	}
 	for i := range ep.Failed {
 		out := &ep.Failed[i]
 		if s.cfg.TracerouteCap > 0 {
-			if budget[out.Flow.Src] >= s.cfg.TracerouteCap {
+			if int(s.budget[out.Flow.Src]) >= s.cfg.TracerouteCap {
 				out.Traced = false
 				continue
 			}
-			budget[out.Flow.Src]++
+			s.budget[out.Flow.Src]++
 		}
 		ep.Reports = append(ep.Reports, vote.Report{
 			FlowID: out.FlowID,
@@ -254,65 +398,135 @@ func (s *Sim) RunEpoch() *Epoch {
 	return ep
 }
 
-// simFlow routes one flow and samples its per-link drops into sh, drawing
-// from the flow's private RNG stream so the result is independent of which
-// worker runs it and in what order. A failed flow's outcome is appended to
-// failed (the caller's per-chunk list) and the grown list returned.
+// simFlow routes one flow and samples its drops into sh, drawing from the
+// flow's private RNG stream so the result is independent of which worker
+// runs it and in what order. A failed flow's outcome is appended to failed
+// (the caller's per-chunk list) and the grown list returned. The
+// steady-state path — flow survives — performs no heap allocation.
 func (s *Sim) simFlow(sh *epochShard, failed []FlowOutcome, epochSeed uint64, fi int64, f traffic.Flow) []FlowOutcome {
-	path, err := s.router.Path(f.Src, f.Dst, f.Tuple)
-	if err != nil {
+	if err := s.router.PathInto(f.Src, f.Dst, f.Tuple, &sh.pathBuf); err != nil {
 		// Unreachable by construction; surface loudly if it happens.
 		panic(fmt.Sprintf("netem: routing %v: %v", f.Tuple, err))
 	}
+	links := sh.pathBuf.Links()
 	sh.packets += f.Packets
-	surviving := f.Packets
-	var drops int
-	var perLink []uint16
-	var rng *stats.RNG
-	for li, l := range path.Links {
-		if surviving == 0 {
-			break
-		}
-		rate := s.rate[l]
-		if rate == 0 {
-			continue
-		}
-		if rng == nil {
-			// Lazily derived: flows over all-zero-rate paths cost no seeding.
-			rng = stats.DeriveRNG(epochSeed^dropDomain, uint64(fi))
-		}
-		d := rng.Binomial(surviving, rate)
-		if d == 0 {
-			continue
-		}
-		if perLink == nil {
-			perLink = make([]uint16, len(path.Links))
-		}
-		perLink[li] = uint16(d)
-		sh.drops[l] += int64(d)
-		surviving -= d
-		drops += d
+	if f.Packets <= 0 {
+		return failed
 	}
+	var perLink [ecmp.MaxPathLinks]uint16
+	drops := s.sampleFlowDrops(epochSeed, fi, &sh.rng, links, f.Packets, &perLink)
 	if drops == 0 {
 		return failed
+	}
+	for li, l := range links {
+		if d := perLink[li]; d != 0 {
+			sh.drops[l] += int64(d)
+		}
 	}
 	sh.dropped += drops
 	out := FlowOutcome{
 		FlowID:      fi,
 		Flow:        f,
-		Path:        path.Links,
+		Path:        sh.arena.copyPath(links),
 		Drops:       drops,
-		DropsByLink: perLink,
-		Culprit:     culprit(path.Links, perLink),
+		DropsByLink: sh.arena.copyDrops(perLink[:len(links)]),
+		Culprit:     culprit(links, perLink[:len(links)]),
 		Traced:      true,
 	}
-	for _, l := range path.Links {
-		if _, bad := s.failures[l]; bad {
+	for _, l := range links {
+		if s.isFailed[l] {
 			out.CrossedFailure = true
 			break
 		}
 	}
 	return append(failed, out)
+}
+
+// sampleFlowDrops samples one flow's per-link drop vector into perLink and
+// returns the total, drawing only from the flow's private (epochSeed, fi)
+// streams so the result is identical whichever worker runs it. rng is the
+// caller's reusable generator; it is reseeded here and touched only when
+// the flow actually drops. The non-dropping path — the overwhelming
+// majority of flows — costs one counter-based uniform draw and no heap
+// allocation.
+//
+// Survival gate: pNoDrop = Π_l (1-rate_l)^packets = exp(packets · Σ logq_l)
+// is the probability that none of the flow's packets is dropped anywhere on
+// the path. One uniform draw against it replaces the per-link Binomial walk.
+// The comparison avoids math.Exp outside a ~x²/2-wide window using the
+// bracket 1+x ≤ eˣ ≤ 1+x+x²/2 (x ≤ 0).
+//
+// Dropping flows sample the per-link cascade — d_i ~ Binomial(survivors,
+// rate_i) down the path — conditioned on a nonzero total, exactly and in
+// O(path) time: while no drop has happened yet the survivor count is still
+// the full packet count, so the chain rule gives closed-form odds that link
+// i stays clean given that some link from i onward must drop,
+//
+//	P(d_i = 0 | drop in i..k) = (1-p_i)^n · P(drop in i+1..k) / P(drop in i..k)
+//
+// with P(drop in j..k) = -expm1(n·suf[j]). The first link that fails this
+// draw takes its count from stats.BinomialNonzero (Binomial conditioned
+// >= 1); every later link runs the ordinary unconditional cascade over the
+// reduced survivor count. Naively rejection-resampling the whole cascade
+// until nonzero would cost an expected 1/P(drop) passes — this costs one.
+func (s *Sim) sampleFlowDrops(epochSeed uint64, fi int64, rng *stats.RNG, links []topology.LinkID, packets int, perLink *[ecmp.MaxPathLinks]uint16) int {
+	// suf[i] holds the suffix sums Σ_{j>=i} logq, shared by the gate
+	// (i = 0) and the conditional walk of the rare dropping flow.
+	var suf [ecmp.MaxPathLinks + 1]float64
+	for i := len(links) - 1; i >= 0; i-- {
+		suf[i] = suf[i+1] + s.logq[links[i]]
+	}
+	if suf[0] == 0 {
+		// Every link has rate exactly 0; the flow cannot drop and costs no
+		// draw at all.
+		return 0
+	}
+	n := float64(packets)
+	x := n * suf[0] // log pNoDrop, <= 0
+	u := stats.DeriveUniform(epochSeed^dropDomain, uint64(fi))
+	if u < 1+x {
+		return 0 // below the lower bound of pNoDrop: survives for sure
+	}
+	if u < 1+x+0.5*x*x && u < math.Exp(x) {
+		return 0
+	}
+	rng.Derive(epochSeed^dropDomain, uint64(fi))
+	drops := 0
+	surviving := packets
+	i := 0
+	for ; i < len(links); i++ {
+		perLink[i] = 0
+		pZeroHere := math.Exp(n * s.logq[links[i]])
+		num := pZeroHere * -math.Expm1(n*suf[i+1])
+		den := -math.Expm1(n * suf[i])
+		if rng.Float64()*den < num {
+			continue // clean link; a later link must drop instead
+		}
+		d := rng.BinomialNonzero(surviving, s.rate[links[i]])
+		perLink[i] = uint16(d)
+		surviving -= d
+		drops = d
+		i++
+		break
+	}
+	for ; i < len(links); i++ {
+		perLink[i] = 0
+		if surviving == 0 {
+			continue
+		}
+		rate := s.rate[links[i]]
+		if rate == 0 {
+			continue
+		}
+		d := rng.Binomial(surviving, rate)
+		if d == 0 {
+			continue
+		}
+		perLink[i] = uint16(d)
+		surviving -= d
+		drops += d
+	}
+	return drops
 }
 
 // Truth builds the ground-truth map that package metrics scores against.

@@ -37,6 +37,39 @@ func (r *RNG) Binomial(n int, p float64) int {
 	}
 }
 
+// BinomialNonzero draws from Binomial(n, p) conditioned on the result being
+// at least 1. It panics when the conditioning event is impossible (n <= 0 or
+// p <= 0).
+//
+// Rejection-resampling Binomial(n, p) until nonzero would take an expected
+// 1/(1-(1-p)^n) attempts — millions at datacenter noise rates — so instead
+// the sampler is exact and O(n*p + 1): the index J of the first success is
+// drawn from its closed-form conditional law (a geometric truncated to n
+// trials, inverted analytically), and the remaining n-J trials contribute an
+// unconditional Binomial(n-J, p). This is the survival-gated simulator's
+// "first dropping link draws a nonzero count" primitive.
+func (r *RNG) BinomialNonzero(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		panic("stats: BinomialNonzero conditioned on an impossible event")
+	}
+	if p >= 1 {
+		return n
+	}
+	lq := math.Log1p(-p) // log(1-p), negative
+	// T = P(X >= 1) = 1 - (1-p)^n, computed to full precision at tiny p.
+	T := -math.Expm1(float64(n) * lq)
+	u := r.Float64()
+	// Invert P(J <= j | X >= 1) = (1 - (1-p)^j)/T at u.
+	j := int(math.Ceil(math.Log1p(-u*T) / lq))
+	if j < 1 {
+		j = 1
+	}
+	if j > n {
+		j = n
+	}
+	return 1 + r.Binomial(n-j, p)
+}
+
 // BinomialExact draws Binomial(n, p) with n independent Bernoulli trials.
 // It exists as a reference implementation for tests of Binomial.
 func (r *RNG) BinomialExact(n int, p float64) int {

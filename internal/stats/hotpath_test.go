@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The in-place reseeding forms must reproduce the allocating constructors
+// bit for bit: the epoch hot path relies on Seed/Derive being drop-in
+// replacements for NewRNG/DeriveRNG.
+func TestSeedMatchesNewRNG(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		want := NewRNG(seed)
+		var r RNG
+		r.Seed(seed)
+		for i := 0; i < 100; i++ {
+			if got, w := r.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("seed %d: Seed diverged from NewRNG at draw %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestDeriveMatchesDeriveRNG(t *testing.T) {
+	var r RNG
+	for stream := uint64(0); stream < 50; stream++ {
+		want := DeriveRNG(99, stream)
+		r.Derive(99, stream) // reused across streams, like a worker would
+		for i := 0; i < 20; i++ {
+			if got, w := r.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("stream %d: Derive diverged from DeriveRNG at draw %d", stream, i)
+			}
+		}
+	}
+}
+
+// DeriveUniform is the one-draw-per-stream gate: it must be a pure function
+// of (seed, stream), in [0,1), roughly uniform across streams, and not a
+// replay of the first draw of the Derive stream for the same pair.
+func TestDeriveUniform(t *testing.T) {
+	if DeriveUniform(7, 9) != DeriveUniform(7, 9) {
+		t.Fatal("DeriveUniform is not deterministic")
+	}
+	var sum float64
+	var r RNG
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		u := DeriveUniform(123, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("DeriveUniform out of [0,1): %g", u)
+		}
+		sum += u
+		r.Derive(123, i)
+		if r.Float64() == u {
+			t.Fatalf("stream %d: gate draw replays the derived RNG's first draw", i)
+		}
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("DeriveUniform mean %.4f, want ~0.5", mean)
+	}
+}
+
+// binomialNonzeroExact is the brute-force reference: rejection-sample the
+// Bernoulli-trial implementation until the result is nonzero.
+func binomialNonzeroExact(r *RNG, n int, p float64) int {
+	for {
+		if d := r.BinomialExact(n, p); d > 0 {
+			return d
+		}
+	}
+}
+
+// chiSquaredTwoSample computes the two-sample chi-squared statistic between
+// integer sample sets a and b, pooling outcome bins until each holds at
+// least 10 combined observations, and returns the statistic and the degrees
+// of freedom (pooled bins - 1).
+func chiSquaredTwoSample(a, b []int) (chi2 float64, df int) {
+	max := 0
+	for _, v := range a {
+		if v > max {
+			max = v
+		}
+	}
+	for _, v := range b {
+		if v > max {
+			max = v
+		}
+	}
+	ca := make([]float64, max+1)
+	cb := make([]float64, max+1)
+	for _, v := range a {
+		ca[v]++
+	}
+	for _, v := range b {
+		cb[v]++
+	}
+	k1 := math.Sqrt(float64(len(b)) / float64(len(a)))
+	k2 := math.Sqrt(float64(len(a)) / float64(len(b)))
+	var px, py float64 // pooled bin accumulators
+	flush := func() {
+		if px+py > 0 {
+			d := k1*px - k2*py
+			chi2 += d * d / (px + py)
+			df++
+		}
+		px, py = 0, 0
+	}
+	for i := 0; i <= max; i++ {
+		px += ca[i]
+		py += cb[i]
+		if px+py >= 10 {
+			flush()
+		}
+	}
+	flush()
+	if df > 0 {
+		df--
+	}
+	return chi2, df
+}
+
+// BinomialNonzero must agree in distribution with BinomialExact conditioned
+// on a nonzero result. Moderate p lets the rejection reference run in
+// reasonable time; tiny p is covered by netem's end-to-end sampler test.
+func TestBinomialNonzeroMatchesExactConditional(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		p       float64
+		samples int
+	}{
+		{100, 0.3, 20000},
+		{50, 0.05, 20000},
+		{100, 1e-3, 15000},
+	} {
+		fast := NewRNG(1)
+		ref := NewRNG(2)
+		a := make([]int, tc.samples)
+		b := make([]int, tc.samples)
+		for i := range a {
+			a[i] = fast.BinomialNonzero(tc.n, tc.p)
+			if a[i] < 1 || a[i] > tc.n {
+				t.Fatalf("n=%d p=%g: BinomialNonzero returned %d", tc.n, tc.p, a[i])
+			}
+			b[i] = binomialNonzeroExact(ref, tc.n, tc.p)
+		}
+		chi2, df := chiSquaredTwoSample(a, b)
+		// Deterministic seeds make this a regression bound, not a flaky
+		// hypothesis test; 3·df+15 is far beyond any plausible quantile.
+		if limit := 3*float64(df) + 15; chi2 > limit {
+			t.Fatalf("n=%d p=%g: chi2=%.1f (df=%d) exceeds %.1f", tc.n, tc.p, chi2, df, limit)
+		}
+	}
+}
+
+func TestBinomialNonzeroEdgeCases(t *testing.T) {
+	r := NewRNG(3)
+	if got := r.BinomialNonzero(7, 1); got != 7 {
+		t.Fatalf("p=1 should drop everything, got %d", got)
+	}
+	if got := r.BinomialNonzero(1, 0.25); got != 1 {
+		t.Fatalf("n=1 conditioned nonzero must be 1, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BinomialNonzero(10, 0) did not panic")
+		}
+	}()
+	r.BinomialNonzero(10, 0)
+}

@@ -19,6 +19,15 @@ type RNG struct {
 // same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := new(RNG)
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets r in place to the stream NewRNG(seed) would produce, without
+// allocating. It is the hot-path form of NewRNG for callers that reuse one
+// generator across many streams (e.g. one RNG value per worker reseeded per
+// flow).
+func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitmix64(sm)
@@ -27,7 +36,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func splitmix64(state uint64) (next, out uint64) {
@@ -69,14 +77,42 @@ func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 // Seed and stream are decorrelated by two SplitMix64 rounds before seeding
 // xoshiro, so adjacent stream indices yield unrelated sequences.
 func DeriveRNG(seed, stream uint64) *RNG {
+	r := new(RNG)
+	r.Derive(seed, stream)
+	return r
+}
+
+// Derive resets r in place to the stream-th substream of seed, producing
+// exactly the stream DeriveRNG(seed, stream) would, without allocating.
+// This is the epoch hot path's per-flow reseed: each worker owns one RNG
+// value and Derives it for every flow it simulates.
+func (r *RNG) Derive(seed, stream uint64) {
 	next, h1 := splitmix64(seed)
 	_, h2 := splitmix64(next ^ stream)
-	return NewRNG(h1 ^ rotl(h2, 27))
+	r.Seed(h1 ^ rotl(h2, 27))
 }
 
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// uniformDomain decorrelates DeriveUniform's output from the xoshiro stream
+// that Derive(seed, stream) produces for the same (seed, stream) pair.
+const uniformDomain = 0x53c5ca59b93161ff
+
+// DeriveUniform returns a single uniform [0, 1) value for the stream-th
+// substream of seed — the counter-based shortcut for code that needs exactly
+// one draw per stream (the simulator's per-flow survival gate) and would
+// waste time seeding a full generator for it. The value is a fixed function
+// of (seed, stream) only, like DeriveRNG, and is decorrelated from the
+// stream Derive(seed, stream) yields, so a caller may consume the gate draw
+// here and fall back to the derived RNG for follow-up draws.
+func DeriveUniform(seed, stream uint64) float64 {
+	next, h1 := splitmix64(seed)
+	_, h2 := splitmix64(next ^ stream)
+	_, g := splitmix64(h1 ^ rotl(h2, 27) ^ uniformDomain)
+	return float64(g>>11) * (1.0 / (1 << 53))
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.

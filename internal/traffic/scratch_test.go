@@ -1,0 +1,48 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+)
+
+// GenerateParallelInto must produce exactly the flow list GenerateParallel
+// does — same seed, same draws, any worker count — while reusing the
+// scratch's buffers across epochs.
+func TestGenerateParallelIntoMatchesGenerateParallel(t *testing.T) {
+	tp := topo(t)
+	w := Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{Lo: 5, Hi: 9},
+		PacketsPerFlow: IntRange{Lo: 10, Hi: 100},
+	}
+	var sc GenScratch
+	for seed := uint64(1); seed <= 4; seed++ {
+		want := w.GenerateParallel(seed, tp, 1)
+		got := w.GenerateParallelInto(&sc, seed, tp, 4)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: scratch generation diverged (%d vs %d flows)", seed, len(got), len(want))
+		}
+	}
+}
+
+// A warmed scratch must serve steady-state epochs without allocating: the
+// buffers are the Sim-owned reusable flow storage of the epoch hot path.
+func TestGenerateParallelIntoReusesScratch(t *testing.T) {
+	tp := topo(t)
+	w := Workload{
+		Pattern:        Uniform{},
+		ConnsPerHost:   IntRange{Lo: 8, Hi: 8},
+		PacketsPerFlow: IntRange{Lo: 100, Hi: 100},
+	}
+	var sc GenScratch
+	w.GenerateParallelInto(&sc, 1, tp, 1) // warm the buffers
+	avg := testing.AllocsPerRun(10, func() {
+		w.GenerateParallelInto(&sc, 2, tp, 1)
+	})
+	// The fan-out closures cost a few fixed allocations per epoch; what
+	// must not appear is anything proportional to the flow count (~1000
+	// flows here).
+	if avg > 6 {
+		t.Fatalf("warmed scratch generation allocates %.1f times per epoch, want O(1)", avg)
+	}
+}

@@ -65,9 +65,20 @@ func pickUnderOtherToR(rng *stats.RNG, topo *topology.Topology, src topology.Hos
 		if tor == srcToR {
 			continue
 		}
-		hosts := topo.HostsUnderToR(tor)
-		return hosts[rng.Intn(len(hosts))]
+		return hostUnderToR(rng, topo, tor)
 	}
+}
+
+// hostUnderToR picks a uniform host below ToR tor without materializing the
+// host list: hosts under a ToR are a contiguous ID range, so the draw —
+// identical to indexing topo.HostsUnderToR(tor) — reduces to arithmetic.
+// This keeps the per-flow generation path allocation-free.
+func hostUnderToR(rng *stats.RNG, topo *topology.Topology, tor topology.SwitchID) topology.HostID {
+	sw := &topo.Switches[tor]
+	if sw.Tier != topology.TierToR {
+		panic("traffic: destination switch is not a ToR")
+	}
+	return topo.HostAt(sw.Pod, sw.Index, rng.Intn(topo.Cfg.HostsPerToR))
 }
 
 // SkewedToRs sends Frac of the flows to hosts under the Hot ToR set and the
@@ -118,8 +129,7 @@ func (h HotToR) Name() string { return fmt.Sprintf("hot-tor-%.0f%%", h.Frac*100)
 // Pick implements Pattern.
 func (h HotToR) Pick(rng *stats.RNG, topo *topology.Topology, src topology.HostID) topology.HostID {
 	if rng.Bool(h.Frac) && topo.Hosts[src].ToR != h.Sink {
-		hosts := topo.HostsUnderToR(h.Sink)
-		return hosts[rng.Intn(len(hosts))]
+		return hostUnderToR(rng, topo, h.Sink)
 	}
 	return pickUnderOtherToR(rng, topo, src, nil)
 }
@@ -167,7 +177,9 @@ func (w Workload) sources(topo *topology.Topology) []topology.HostID {
 	return srcs
 }
 
-// appendSourceFlows draws one source's epoch flows from rng.
+// appendSourceFlows draws one source's epoch flows from rng. It allocates
+// only when flows runs out of capacity, so callers that recycle buffers
+// (GenerateParallelInto) generate steady-state epochs allocation-free.
 func (w Workload) appendSourceFlows(flows []Flow, rng *stats.RNG, topo *topology.Topology, src topology.HostID) []Flow {
 	n := w.ConnsPerHost.Sample(rng)
 	for c := 0; c < n; c++ {
@@ -193,29 +205,74 @@ func (w Workload) appendSourceFlows(flows []Flow, rng *stats.RNG, topo *topology
 // the same flow list at any worker count.
 const srcChunk = 64
 
+// GenScratch holds the reusable buffers of GenerateParallelInto: the
+// per-chunk generation buffers, the source list and the concatenated flow
+// slice. A simulator owns one GenScratch and hands it back every epoch, so
+// steady-state generation reuses capacity instead of reallocating ~100k
+// Flow structs per epoch. The zero value is ready to use.
+type GenScratch struct {
+	chunks [][]Flow
+	srcs   []topology.HostID
+	flows  []Flow
+}
+
+// sourcesInto resolves the originating host set like sources, reusing sc's
+// buffer when the workload does not restrict hosts.
+func (w Workload) sourcesInto(sc *GenScratch, topo *topology.Topology) []topology.HostID {
+	if w.Hosts != nil {
+		return w.Hosts
+	}
+	if cap(sc.srcs) < len(topo.Hosts) {
+		sc.srcs = make([]topology.HostID, len(topo.Hosts))
+		for i := range sc.srcs {
+			sc.srcs[i] = topology.HostID(i)
+		}
+	}
+	return sc.srcs[:len(topo.Hosts)]
+}
+
 // GenerateParallel produces an epoch like Generate, but fans sources out
 // over workers, each source drawing from its own RNG stream derived from
 // (seed, source index). The flow list — grouped by source in source order,
 // like Generate's — is bit-identical at every worker count, though it is a
 // different (equally distributed) draw than Generate's single-stream walk.
 func (w Workload) GenerateParallel(seed uint64, topo *topology.Topology, workers int) []Flow {
-	srcs := w.sources(topo)
-	chunks := make([][]Flow, par.Chunks(len(srcs), srcChunk))
+	return w.GenerateParallelInto(new(GenScratch), seed, topo, workers)
+}
+
+// GenerateParallelInto is GenerateParallel resolving into sc's reusable
+// buffers: the draw discipline — and therefore the produced flow list — is
+// identical, but a scratch that has seen an epoch of similar size serves the
+// next one without allocating. The returned slice aliases sc and is valid
+// until the next call with the same scratch.
+func (w Workload) GenerateParallelInto(sc *GenScratch, seed uint64, topo *topology.Topology, workers int) []Flow {
+	srcs := w.sourcesInto(sc, topo)
+	nchunks := par.Chunks(len(srcs), srcChunk)
+	if cap(sc.chunks) < nchunks {
+		sc.chunks = append(sc.chunks[:cap(sc.chunks)], make([][]Flow, nchunks-cap(sc.chunks))...)
+	}
+	sc.chunks = sc.chunks[:nchunks]
 	par.ForEachChunk(len(srcs), srcChunk, workers, func(c, lo, hi int) {
-		var buf []Flow
+		buf := sc.chunks[c][:0]
+		var rng stats.RNG
 		for si := lo; si < hi; si++ {
-			buf = w.appendSourceFlows(buf, stats.DeriveRNG(seed, uint64(si)), topo, srcs[si])
+			rng.Derive(seed, uint64(si))
+			buf = w.appendSourceFlows(buf, &rng, topo, srcs[si])
 		}
-		chunks[c] = buf
+		sc.chunks[c] = buf
 	})
 	total := 0
-	for _, ch := range chunks {
+	for _, ch := range sc.chunks {
 		total += len(ch)
 	}
-	flows := make([]Flow, 0, total)
-	for _, ch := range chunks {
+	flows := sc.flows[:0]
+	if cap(flows) < total {
+		flows = make([]Flow, 0, total)
+	}
+	for _, ch := range sc.chunks {
 		flows = append(flows, ch...)
 	}
+	sc.flows = flows
 	return flows
 }
 

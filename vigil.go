@@ -260,11 +260,16 @@ func (s *Simulation) RunEpoch() *EpochReport {
 	ep := s.sim.RunEpoch()
 	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: s.detect, Parallelism: s.parallelism})
 	score := metrics.ScoreVerdicts(res.Verdicts, ep.Truth())
+	// The epoch's FailedLinks shares the simulator's cached snapshot; hand
+	// the public caller an owned copy so mutating the report cannot corrupt
+	// later epochs.
+	failed := make([]LinkID, len(ep.FailedLinks))
+	copy(failed, ep.FailedLinks)
 	return &EpochReport{
 		Ranking:     res.Ranking,
 		Detected:    res.Detected,
 		Verdicts:    res.Verdicts,
-		FailedLinks: ep.FailedLinks,
+		FailedLinks: failed,
 		Accuracy:    score.Accuracy(),
 		FlowsScored: score.Considered,
 		Detection:   metrics.ScoreDetection(res.Detected, ep.FailedLinks),
