@@ -72,7 +72,10 @@ func main() {
 	for i := 0; i < *failures; i++ {
 		links := topo.LinksOfClass(classes[rng.Intn(len(classes))])
 		l := links[rng.Intn(len(links))]
-		sim.InjectFailure(l, *rate)
+		if err := sim.InjectFailure(l, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("injected: %s at %.3f%%\n", vigil.LinkName(topo, l), *rate*100)
 	}
 

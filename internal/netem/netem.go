@@ -83,6 +83,11 @@ type Sim struct {
 	failedSorted []topology.LinkID
 	failedDirty  bool
 
+	// schedules scripts time-varying link rates (see schedule.go); epochIdx
+	// is the index of the next epoch, fed to RateSchedule.RateAt.
+	schedules []linkSchedule
+	epochIdx  int
+
 	// Per-epoch scratch, reused across RunEpoch calls (a Sim is not safe for
 	// concurrent RunEpoch anyway): worker shards, the per-chunk outcome
 	// table, the dense traceroute budget and the flow-generation buffers.
@@ -331,6 +336,10 @@ func (s *Sim) epochScratch(nflows int) (shards []epochShard, failedByChunk [][]F
 // flow-order pass. Steady-state epochs (no failed flows) allocate O(1)
 // memory regardless of flow count.
 func (s *Sim) RunEpoch() *Epoch {
+	// Settle scripted link rates for this epoch before any randomness is
+	// drawn or any worker starts (see schedule.go).
+	s.applySchedules()
+	s.epochIdx++
 	// One draw advances the per-epoch stream exactly like the old Split().
 	epochSeed := s.rng.Uint64()
 	flows := s.cfg.Workload.GenerateParallelInto(&s.gen, epochSeed, s.topo, s.cfg.Parallelism)

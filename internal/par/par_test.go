@@ -1,0 +1,216 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{0, runtime.GOMAXPROCS(0)},
+		{-5, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{7, 7},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.in); got != tc.want {
+			t.Fatalf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, size, want int
+	}{
+		{0, 10, 0},
+		{-3, 10, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{1000, 64, 16},
+	}
+	for _, tc := range cases {
+		if got := Chunks(tc.n, tc.size); got != tc.want {
+			t.Fatalf("Chunks(%d, %d) = %d, want %d", tc.n, tc.size, got, tc.want)
+		}
+	}
+}
+
+// Every index must be visited exactly once, and chunk boundaries must be a
+// pure function of (n, size) — lo = chunk*size — at every worker count.
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	const n, size = 1000, 64
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		visits := make([]int32, n)
+		ForEachChunk(n, size, workers, func(chunk, lo, hi int) {
+			if lo != chunk*size {
+				t.Errorf("chunk %d: lo = %d, want %d", chunk, lo, chunk*size)
+			}
+			if want := min(lo+size, n); hi != want {
+				t.Errorf("chunk %d: hi = %d, want %d", chunk, hi, want)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// The single-worker path must run chunks in ascending order on the calling
+// goroutine — the sequential path and the parallel path execute the same
+// chunk set, but only the former guarantees order.
+func TestForEachChunkSequentialOrdering(t *testing.T) {
+	var order []int
+	ForEachChunk(100, 10, 1, func(chunk, lo, hi int) {
+		order = append(order, chunk) // no lock: must be the calling goroutine
+	})
+	if len(order) != 10 {
+		t.Fatalf("ran %d chunks, want 10", len(order))
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("sequential path ran chunk %d at position %d", c, i)
+		}
+	}
+}
+
+// Worker indices must stay within [0, min(workers, chunks)) so per-worker
+// shard arrays can be sized up front.
+func TestForEachChunkWorkerIndexBounds(t *testing.T) {
+	cases := []struct {
+		n, size, workers int
+	}{
+		{1000, 64, 4},  // more chunks than workers
+		{100, 64, 8},   // fewer chunks (2) than workers
+		{1000, 64, -1}, // default pool
+	}
+	for _, tc := range cases {
+		bound := Workers(tc.workers)
+		if nchunks := Chunks(tc.n, tc.size); bound > nchunks {
+			bound = nchunks
+		}
+		var maxSeen atomic.Int64
+		ForEachChunkWorker(tc.n, tc.size, tc.workers, func(worker, chunk, lo, hi int) {
+			if worker < 0 || worker >= bound {
+				t.Errorf("worker index %d outside [0, %d)", worker, bound)
+			}
+			for {
+				cur := maxSeen.Load()
+				if int64(worker) <= cur || maxSeen.CompareAndSwap(cur, int64(worker)) {
+					break
+				}
+			}
+		})
+	}
+}
+
+// A panic in any chunk must propagate to the caller, on both the inline
+// and the pooled path, and must not deadlock the pool.
+func TestForEachChunkPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("recovered %v, want \"boom\"", r)
+				}
+			}()
+			ForEachChunk(100, 10, workers, func(chunk, lo, hi int) {
+				if chunk == 5 {
+					panic("boom")
+				}
+			})
+		})
+	}
+}
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	const n = 257
+	visits := make([]int32, n)
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&visits[i], 1) })
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 8, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+// ForEachErr must return the error of the lowest failed index, regardless
+// of completion order, and report nil when everything succeeds.
+func TestForEachErr(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := ForEachErr(100, 8, func(i int) error {
+		switch i {
+		case 30:
+			return errHigh
+		case 7:
+			return errLow
+		}
+		return nil
+	})
+	// Both 7 and 30 may or may not run depending on scheduling, but if any
+	// error comes back it must be the lowest-index one that fired; with
+	// index 7 always eligible before the fail-fast flag trips at 30 only
+	// sometimes, accept either errLow alone or errLow-preferred.
+	if err == nil {
+		t.Fatal("errors swallowed")
+	}
+	if err == errHigh {
+		// Legal only if index 7 never ran after the flag tripped — but 7 ran
+		// before 30 in index order on some worker; the contract promises the
+		// lowest *failed* index, so seeing errHigh means 7 returned nil,
+		// which it cannot. Treat as failure.
+		t.Fatal("got high-index error despite a lower failed index")
+	}
+	if err := ForEachErr(50, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("spurious error %v", err)
+	}
+}
+
+// The fail-fast flag must stop later items from starting (already-running
+// ones finish). With one worker, nothing after the failing index may run.
+func TestForEachErrFailFast(t *testing.T) {
+	var ran sync.Map
+	failAt := 10
+	err := ForEachErr(100, 1, func(i int) error {
+		ran.Store(i, true)
+		if i == failAt {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	count := 0
+	ran.Range(func(any, any) bool { count++; return true })
+	if count != failAt+1 {
+		t.Fatalf("%d items ran after a fail-fast error at index %d", count, failAt)
+	}
+}

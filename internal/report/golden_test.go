@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden files from the current renderer output:
+//
+//	go test ./internal/report -run Golden -update
+//
+// Goldens catch mechanical regressions in experiment table rendering —
+// width computation, float formatting, separator layout, CSV quoting —
+// that per-assertion tests historically missed.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTables exercises the renderer's edge cases: float formats across
+// the scientific-notation switch, ragged rows, rows wider than the header,
+// cells needing CSV quoting, and an untitled table.
+func goldenTables() []*Table {
+	exp := &Table{
+		Title:   "Figure X: accuracy vs drop rate",
+		Columns: []string{"rate", "accuracy", "precision", "note"},
+	}
+	exp.AddRow(0.5, 0.987654, 1.0, "plain")
+	exp.AddRow(1e-5, 0.5, 0.333333, "tiny rate switches to scientific")
+	exp.AddRow(-2.5e-7, -0.25, 0.0, "negative tiny, zero")
+	exp.AddRow(12345.678, 42, "0.9±0.1", "int and preformatted cells")
+
+	ragged := &Table{
+		Title:   "ragged, quoted",
+		Columns: []string{"a", "b"},
+	}
+	ragged.AddRow("short")
+	ragged.AddRow("x", "comma, quote \" and\nnewline")
+	ragged.AddRow("one", "two", "three beyond the header")
+
+	untitled := &Table{Columns: []string{"only", "header"}}
+
+	return []*Table{exp, ragged, untitled}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n-- got --\n%s\n-- want --\n%s\n(run with -update to accept)", name, got, want)
+	}
+}
+
+func TestRenderASCIIGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, tab := range goldenTables() {
+		if err := tab.RenderASCII(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkGolden(t, "tables.ascii.golden", buf.Bytes())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, tab := range goldenTables() {
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkGolden(t, "tables.csv.golden", buf.Bytes())
+}

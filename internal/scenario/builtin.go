@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"vigil/internal/netem"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+)
+
+// The named scenarios of the dynamic-failure suite. Each is the quick-scale
+// embodiment of a regime the paper (and its arXiv:1802.07222 extension)
+// evaluates 007 under: transient/intermittent failures, flapping links,
+// rolling failure waves, congestion under skewed traffic, and overlapping
+// failure churn.
+func init() {
+	Register(Spec{
+		Name:   "intermittent-failure",
+		Title:  "One link drops at a low rate in a random ~60% of epochs (transient failure, arXiv:1802.07222 §V)",
+		Epochs: 16,
+		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
+			l := pickLinks(rng, topo, 1, topology.L1Up)[0]
+			return []LinkSchedule{{
+				Link: l,
+				Schedule: netem.Intermittent{
+					Rate: rng.Uniform(0.002, 0.008),
+					Prob: 0.6,
+					Seed: rng.Uint64(),
+				},
+			}}
+		},
+	})
+
+	Register(Spec{
+		Name:   "link-flap",
+		Title:  "Two links flap with staggered on/off duty cycles",
+		Epochs: 16,
+		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
+			up := pickLinks(rng, topo, 1, topology.L1Up)[0]
+			down := pickLinks(rng, topo, 1, topology.L2Down)[0]
+			return []LinkSchedule{
+				{Link: up, Schedule: netem.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 4, On: 2}},
+				{Link: down, Schedule: netem.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 6, On: 3, Phase: 1}},
+			}
+		},
+	})
+
+	Register(Spec{
+		Name:   "failure-wave",
+		Title:  "A rolling wave of four failures marching across the fabric with overlapping windows",
+		Epochs: 16,
+		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
+			links := pickLinks(rng, topo, 4, topology.L1Up, topology.L1Down)
+			out := make([]LinkSchedule, len(links))
+			for i, l := range links {
+				out[i] = LinkSchedule{
+					Link:     l,
+					Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: i * 3, End: i*3 + 5},
+				}
+			}
+			return out
+		},
+	})
+
+	Register(Spec{
+		Name:   "congestion-burst",
+		Title:  "Hot-ToR traffic (Fig. 9) with periodic congestion-loss bursts on the sink's downlinks",
+		Epochs: 15,
+		Workload: func(rng *stats.RNG, topo *topology.Topology) traffic.Workload {
+			w := traffic.DefaultWorkload()
+			w.Pattern = traffic.HotToR{Sink: randomToR(rng, topo), Frac: 0.6}
+			return w
+		},
+		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
+			// Workload and Script receive copies of the same stream, so this
+			// first draw yields the exact sink the workload floods — the
+			// burst lands on the congested downlinks.
+			sink := randomToR(rng, topo)
+			into := linksInto(topo, sink, topology.L1Down)
+			rng.Shuffle(len(into), func(i, j int) { into[i], into[j] = into[j], into[i] })
+			n := min(2, len(into))
+			out := make([]LinkSchedule, n)
+			for i := 0; i < n; i++ {
+				out[i] = LinkSchedule{
+					Link:     into[i],
+					Schedule: netem.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 5, On: 2, Phase: i},
+				}
+			}
+			return out
+		},
+	})
+
+	Register(Spec{
+		Name:   "overlap-churn",
+		Title:  "Five failures of mixed classes overlapping and churning (intermittent + windows + flap)",
+		Epochs: 18,
+		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
+			links := pickLinks(rng, topo, 5, topology.L1Up, topology.L1Down, topology.L2Up, topology.L2Down)
+			return []LinkSchedule{
+				{Link: links[0], Schedule: netem.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
+				{Link: links[1], Schedule: netem.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
+				{Link: links[2], Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: 2, End: 9}},
+				{Link: links[3], Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: 6, End: 13}},
+				{Link: links[4], Schedule: netem.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 6, On: 2, Phase: 3}},
+			}
+		},
+	})
+}
+
+// pickLinks draws n distinct links uniformly from the union of the given
+// classes, sorted by LinkID for a deterministic script order.
+func pickLinks(rng *stats.RNG, topo *topology.Topology, n int, classes ...topology.LinkClass) []topology.LinkID {
+	var pool []topology.LinkID
+	for _, c := range classes {
+		pool = append(pool, topo.LinksOfClass(c)...)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if n > len(pool) {
+		n = len(pool)
+	}
+	out := append([]topology.LinkID(nil), pool[:n]...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// randomToR picks a uniform ToR.
+func randomToR(rng *stats.RNG, topo *topology.Topology) topology.SwitchID {
+	p := rng.Intn(topo.Cfg.Pods)
+	return topo.ToR(p, rng.Intn(topo.Cfg.ToRsPerPod))
+}
+
+// linksInto returns the class-c links whose destination is switch sw.
+func linksInto(topo *topology.Topology, sw topology.SwitchID, c topology.LinkClass) []topology.LinkID {
+	var out []topology.LinkID
+	for _, l := range topo.LinksOfClass(c) {
+		if topo.Links[l].To == topology.SwitchNode(sw) {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package conform
+
+import (
+	"testing"
+)
+
+// Paper-level envelopes for the named dynamic scenarios, at fixed seeds.
+// Bounds sit below the pooled point estimates with enough margin that seed
+// noise cannot fail them (the Wilson upper limit must drop below the bound),
+// yet close enough that a real regression — recall collapsing, precision
+// halving, attribution drifting — statistically excludes the bound and
+// fails the suite.
+//
+// Reference pooled estimates (30 seeds, quick topology): intermittent
+// precision ~0.63 (the low-rate regime genuinely pulls noise links over
+// Algorithm 1's relative threshold), link-flap ~0.90, failure-wave ~0.91,
+// congestion-burst ~1.0, overlap-churn ~0.97; recall ~1.0 and accuracy
+// ~0.996+ everywhere; quiet epochs detect the top noise link whenever a
+// noise drop lands, leaving quiet-clean low (~0.13).
+var envelopes = []Envelope{
+	{
+		Scenario:      "intermittent-failure",
+		MinPrecision:  0.45,
+		MinRecall:     0.95,
+		MinAccuracy:   0.97,
+		MinQuietClean: 0.02,
+	},
+	{
+		Scenario:     "link-flap",
+		MinPrecision: 0.75,
+		MinRecall:    0.95,
+		MinAccuracy:  0.97,
+	},
+	{
+		Scenario:     "failure-wave",
+		MinPrecision: 0.75,
+		MinRecall:    0.95,
+		MinAccuracy:  0.97,
+	},
+	{
+		Scenario:     "congestion-burst",
+		MinPrecision: 0.85,
+		MinRecall:    0.95,
+		MinAccuracy:  0.97,
+	},
+	{
+		Scenario:     "overlap-churn",
+		MinPrecision: 0.8,
+		MinRecall:    0.95,
+		MinAccuracy:  0.95,
+	},
+}
+
+// The conformance suite proper: every named scenario must hold its
+// precision/recall/accuracy envelope across the pooled seed runs.
+func TestScenarioEnvelopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed statistical sweep; skipped in -short mode")
+	}
+	for _, env := range envelopes {
+		env := env
+		t.Run(env.Scenario, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Evaluate(env, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Checks) == 0 {
+				t.Fatal("envelope produced no checks")
+			}
+			if !rep.Pass() {
+				t.Fatalf("conformance envelope violated:\n%s", rep)
+			}
+			t.Log("\n" + rep.String())
+		})
+	}
+}
+
+// An impossible bound must fail — the suite is statistical, not vacuous.
+func TestEnvelopeCanFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed statistical sweep; skipped in -short mode")
+	}
+	rep, err := Evaluate(Envelope{
+		Scenario:      "link-flap",
+		Seeds:         4,
+		MinQuietClean: 0.999, // quiet epochs flag noise links routinely
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("absurd bound passed:\n%s", rep)
+	}
+}
+
+func TestEvaluateUnknownScenario(t *testing.T) {
+	if _, err := Evaluate(Envelope{Scenario: "no-such"}, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// Evaluation must be deterministic: same envelope, same report.
+func TestEvaluateDeterministic(t *testing.T) {
+	env := Envelope{Scenario: "intermittent-failure", Seeds: 3, MinRecall: 0.9}
+	a, err := Evaluate(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("parallelism changed the report:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCheckZeroTrialsFails(t *testing.T) {
+	c := check("recall", 0, 0, 0.9, 2.576)
+	if c.Pass {
+		t.Fatal("bounded metric with zero trials passed")
+	}
+}

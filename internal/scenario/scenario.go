@@ -1,0 +1,275 @@
+// Package scenario is the dynamic failure-scenario engine: it scripts
+// time-varying network conditions — link flaps, intermittent low-rate
+// drops, rolling multi-link failure waves, congestion bursts under skewed
+// traffic, failure churn — on top of netem's epoch-indexed rate schedules,
+// runs the full 007 cycle over the scripted epochs and scores every epoch
+// against its own ground truth.
+//
+// The paper's evaluation (§6.3, Figs. 8–9) and the extended version
+// (arXiv:1802.07222) judge 007 exactly on these regimes; a static one-epoch
+// drop-rate sweep cannot reproduce them. A Spec is a deterministic function
+// of (seed, topology): running the same named scenario with the same seed
+// yields bit-identical results at every Parallelism setting, inheriting the
+// epoch engine's determinism contract (DESIGN.md).
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"vigil/internal/analysis"
+	"vigil/internal/metrics"
+	"vigil/internal/netem"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// LinkSchedule scripts one link's time-varying drop rate.
+type LinkSchedule struct {
+	Link     topology.LinkID
+	Schedule netem.RateSchedule
+}
+
+// Spec is a named, reusable scenario: a topology, a workload and a script
+// of per-link rate schedules. The Workload and Script callbacks receive a
+// scenario-private RNG derived from the run seed plus the built topology,
+// so a Spec can pick random links/ToRs per run while staying deterministic
+// for a fixed seed.
+type Spec struct {
+	Name  string
+	Title string
+	// Epochs is the scripted duration; Config.Epochs can override it.
+	Epochs int
+	// Topo sizes the simulated Clos; the zero value means the quick-scale
+	// evaluation topology (2 pods, 8 ToRs/pod — fast enough for the
+	// conformance suite to sweep seeds inside go test).
+	Topo topology.Config
+	// NoiseLo/NoiseHi bound good-link noise rates; both zero means the
+	// paper's (0, 1e-6).
+	NoiseLo, NoiseHi float64
+	// TracerouteCap limits traced flows per host per epoch (0 = unlimited).
+	TracerouteCap int
+	// Workload builds the epoch workload; nil means the paper default
+	// (uniform pattern, 60 conns/host, 100 packets/flow).
+	Workload func(rng *stats.RNG, topo *topology.Topology) traffic.Workload
+	// Script builds the scenario's link schedules.
+	Script func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule
+	// Detect overrides Algorithm 1 options; the zero value means the
+	// paper's 1% threshold.
+	Detect vote.DetectOptions
+}
+
+// QuickTopo is the default scenario topology: the quick-scale Clos the
+// experiment harness uses for smoke tests, small enough that a multi-seed
+// conformance sweep fits in a test run.
+var QuickTopo = topology.Config{Pods: 2, ToRsPerPod: 8, T1PerPod: 8, T2: 4, HostsPerToR: 8}
+
+// Config parametrizes one scenario run.
+type Config struct {
+	// Seed drives every random choice of the run (workload, script, drops).
+	Seed uint64
+	// Epochs overrides Spec.Epochs when positive.
+	Epochs int
+	// Parallelism is the epoch engine worker count; 0 means all cores.
+	// Results are bit-identical at every setting.
+	Parallelism int
+}
+
+// specDomain derives the scenario-construction stream from the run seed.
+// Workload and Script receive *independent copies* of the same stream: a
+// spec that must coordinate the two (e.g. congestion-burst floods the same
+// ToR its script bursts) draws the shared choice first in both callbacks
+// and gets identical values.
+const specDomain = 0x9b1f0c4de2a7c1b5
+
+// EpochScore is one epoch's outcome, scored against that epoch's ground
+// truth (the links active under the script during the epoch).
+type EpochScore struct {
+	Epoch int
+	// ActiveLinks are the scripted failures live this epoch, sorted.
+	ActiveLinks []topology.LinkID
+	// Detected is Algorithm 1's output, in blame order.
+	Detected []topology.LinkID
+	// Detection scores Detected against ActiveLinks.
+	Detection metrics.Detection
+	// Accuracy is the share of failure-crossing flows blamed correctly; 1
+	// when no flow crossed an active failure.
+	Accuracy float64
+	// FlowsScored counts the failure-crossing flows behind Accuracy.
+	FlowsScored int
+	FailedFlows int
+	TotalDrops  int
+}
+
+// Result aggregates a full scenario run. The binomial counts (TruePos,
+// FalsePos, FalseNeg, Correct, Considered, QuietClean/QuietEpochs) are the
+// conformance suite's raw material: summing them across seeds gives the
+// trials behind each statistical envelope.
+type Result struct {
+	Name   string
+	Epochs []EpochScore
+
+	// ActiveEpochs counts epochs with at least one scripted failure live;
+	// QuietEpochs the rest. QuietClean counts quiet epochs in which
+	// Algorithm 1 correctly detected nothing.
+	ActiveEpochs int
+	QuietEpochs  int
+	QuietClean   int
+
+	// Detection counts summed over epochs.
+	TruePos, FalsePos, FalseNeg int
+	// Flow-attribution counts summed over epochs.
+	Correct, Considered int
+
+	// Precision/Recall/Accuracy are the aggregate ratios of the counts
+	// above (1 when the denominator is empty).
+	Precision, Recall, Accuracy float64
+}
+
+// ratio returns num/den, or 1 for an empty denominator (no opportunity to
+// be wrong), matching metrics' conventions.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// Run executes one scenario: build the topology, derive the workload and
+// script from the seed, then simulate, analyze and score Epochs rounds.
+func Run(spec Spec, cfg Config) (*Result, error) {
+	epochs := spec.Epochs
+	if cfg.Epochs > 0 {
+		epochs = cfg.Epochs
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("scenario %q: non-positive epoch count %d", spec.Name, epochs)
+	}
+	topoCfg := spec.Topo
+	if topoCfg == (topology.Config{}) {
+		topoCfg = QuickTopo
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	w := traffic.DefaultWorkload()
+	if spec.Workload != nil {
+		w = spec.Workload(stats.DeriveRNG(cfg.Seed, specDomain), topo)
+	}
+	noiseHi := spec.NoiseHi
+	if noiseHi == 0 && spec.NoiseLo == 0 {
+		noiseHi = 1e-6
+	}
+	sim, err := netem.New(netem.Config{
+		Topo:          topo,
+		Workload:      w,
+		NoiseLo:       spec.NoiseLo,
+		NoiseHi:       noiseHi,
+		TracerouteCap: spec.TracerouteCap,
+		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	if spec.Script == nil {
+		return nil, fmt.Errorf("scenario %q: nil Script", spec.Name)
+	}
+	script := spec.Script(stats.DeriveRNG(cfg.Seed, specDomain), topo)
+	if len(script) == 0 {
+		return nil, fmt.Errorf("scenario %q: empty script", spec.Name)
+	}
+	// Validate the whole script up front: every scheduled rate over the
+	// scripted horizon must be a probability, and every link must exist.
+	// RateSchedules are pure, so probing costs nothing but arithmetic.
+	for _, ls := range script {
+		if ls.Link < 0 || int(ls.Link) >= len(topo.Links) {
+			return nil, fmt.Errorf("scenario %q: schedule on unknown link %d", spec.Name, ls.Link)
+		}
+		for e := 0; e < epochs; e++ {
+			rate, active := ls.Schedule.RateAt(e)
+			if active && (math.IsNaN(rate) || rate < 0 || rate > 1) {
+				return nil, fmt.Errorf("scenario %q: link %d epoch %d: drop rate %v outside [0,1]", spec.Name, ls.Link, e, rate)
+			}
+		}
+		sim.Schedule(ls.Link, ls.Schedule)
+	}
+
+	detect := spec.Detect
+	if detect.ThresholdFrac == 0 {
+		detect.ThresholdFrac = 0.01
+	}
+
+	res := &Result{Name: spec.Name, Epochs: make([]EpochScore, 0, epochs)}
+	for e := 0; e < epochs; e++ {
+		ep := sim.RunEpoch()
+		an := analysis.Analyze(ep.Reports, analysis.Options{Detect: detect, Parallelism: cfg.Parallelism})
+		score := metrics.ScoreVerdicts(an.Verdicts, ep.Truth())
+		det := metrics.ScoreDetection(an.Detected, ep.FailedLinks)
+		active := make([]topology.LinkID, len(ep.FailedLinks))
+		copy(active, ep.FailedLinks)
+		es := EpochScore{
+			Epoch:       e,
+			ActiveLinks: active,
+			Detected:    an.Detected,
+			Detection:   det,
+			Accuracy:    score.Accuracy(),
+			FlowsScored: score.Considered,
+			FailedFlows: len(ep.Failed),
+			TotalDrops:  ep.TotalDrops,
+		}
+		res.Epochs = append(res.Epochs, es)
+		if len(active) > 0 {
+			res.ActiveEpochs++
+			res.TruePos += det.TruePos
+			res.FalsePos += det.FalsePos
+			res.FalseNeg += det.FalseNeg
+		} else {
+			res.QuietEpochs++
+			if len(an.Detected) == 0 {
+				res.QuietClean++
+			}
+		}
+		res.Correct += score.Correct
+		res.Considered += score.Considered
+	}
+	res.Precision = ratio(res.TruePos, res.TruePos+res.FalsePos)
+	res.Recall = ratio(res.TruePos, res.TruePos+res.FalseNeg)
+	res.Accuracy = ratio(res.Correct, res.Considered)
+	return res, nil
+}
+
+// ---- registry ----
+
+var registry []Spec
+
+// Register adds a named scenario. It panics on a duplicate or empty name —
+// registration happens from init functions, where a bad registry is a
+// programming error.
+func Register(spec Spec) {
+	if spec.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	for _, s := range registry {
+		if s.Name == spec.Name {
+			panic("scenario: duplicate registration of " + spec.Name)
+		}
+	}
+	registry = append(registry, spec)
+}
+
+// All returns every registered scenario in registration order.
+func All() []Spec { return append([]Spec(nil), registry...) }
+
+// Find returns the scenario with the given name.
+func Find(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -319,3 +319,34 @@ func BenchmarkRNGUint64(b *testing.B) {
 		r.Uint64()
 	}
 }
+
+func TestWilsonInterval(t *testing.T) {
+	// Reference: Wilson (1927) interval for 45/50 at z=1.96 is ~[0.787, 0.953].
+	lo, hi := WilsonInterval(45, 50, 1.96)
+	if lo < 0.78 || lo > 0.80 || hi < 0.94 || hi > 0.96 {
+		t.Fatalf("WilsonInterval(45, 50, 1.96) = [%v, %v]", lo, hi)
+	}
+	// Degenerate and boundary behavior.
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("zero trials: [%v, %v], want [0, 1]", lo, hi)
+	}
+	if lo, hi := WilsonInterval(10, 10, 0); lo != 1 || hi != 1 {
+		t.Fatalf("z = 0 must collapse to the point estimate: [%v, %v]", lo, hi)
+	}
+	// p = 1 keeps a nontrivial lower limit and hi clamped to 1.
+	lo, hi = WilsonInterval(20, 20, 2.576)
+	if hi != 1 || lo >= 1 || lo < 0.7 {
+		t.Fatalf("WilsonInterval(20, 20) = [%v, %v]", lo, hi)
+	}
+	// p = 0 mirrors it.
+	lo, hi = WilsonInterval(0, 20, 2.576)
+	if lo != 0 || hi <= 0 || hi > 0.3 {
+		t.Fatalf("WilsonInterval(0, 20) = [%v, %v]", lo, hi)
+	}
+	// More trials must narrow the interval.
+	lo1, hi1 := WilsonInterval(90, 100, 1.96)
+	lo2, hi2 := WilsonInterval(900, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval did not narrow with more trials")
+	}
+}

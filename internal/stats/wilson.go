@@ -1,0 +1,40 @@
+package stats
+
+import "math"
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: successes out of trials, at critical value z
+// (1.96 ≈ 95%, 2.576 ≈ 99%). Unlike the normal approximation it behaves at
+// p near 0 or 1 and at small n — exactly the regimes a conformance suite
+// hits when a detector's recall is ~1.0 over a few dozen epochs.
+//
+// The conformance suite asserts "metric ≥ bound" as "the interval's upper
+// limit is ≥ bound": a run fails only when the data statistically rules the
+// bound out, not when a single unlucky seed dips below it.
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	if z <= 0 {
+		p := float64(successes) / float64(trials)
+		return p, p
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	hw := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - hw
+	hi = center + hw
+	// Clamp to [0, 1] and snap the exact boundary cases (p = 0 or 1) whose
+	// closed-form limit is the boundary but whose floating-point evaluation
+	// leaves ~1e-17 residue.
+	if lo < 0 || successes == 0 {
+		lo = 0
+	}
+	if hi > 1 || successes == trials {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -24,6 +24,7 @@ package vigil
 
 import (
 	"fmt"
+	"math"
 
 	"vigil/internal/analysis"
 	"vigil/internal/cluster"
@@ -33,6 +34,7 @@ import (
 	"vigil/internal/metrics"
 	"vigil/internal/netem"
 	"vigil/internal/report"
+	"vigil/internal/scenario"
 	"vigil/internal/slb"
 	"vigil/internal/theory"
 	"vigil/internal/topology"
@@ -88,6 +90,22 @@ type (
 	ExperimentResult = experiments.Result
 	// Experiment is a registered table/figure runner.
 	Experiment = experiments.Runner
+	// RateSchedule scripts a link's drop rate per epoch (dynamic failures).
+	RateSchedule = netem.RateSchedule
+	// ConstantRate fails a link at a fixed rate in every epoch.
+	ConstantRate = netem.ConstantRate
+	// Window fails a link during an epoch interval [Start, End).
+	Window = netem.Window
+	// Flap cycles a link through an on/off duty cycle.
+	Flap = netem.Flap
+	// Intermittent fails a link in a random fraction of epochs.
+	Intermittent = netem.Intermittent
+	// ScenarioConfig parametrizes one dynamic-scenario run.
+	ScenarioConfig = scenario.Config
+	// ScenarioResult is a scored multi-epoch scenario run.
+	ScenarioResult = scenario.Result
+	// ScenarioEpoch is one epoch's score within a scenario run.
+	ScenarioEpoch = scenario.EpochScore
 )
 
 // Link classes, re-exported.
@@ -220,8 +238,74 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 // Topology returns the simulated network.
 func (s *Simulation) Topology() *Topology { return s.sim.Topology() }
 
-// InjectFailure sets a directed link's drop rate.
-func (s *Simulation) InjectFailure(l LinkID, rate float64) { s.sim.InjectFailure(l, rate) }
+// InjectFailure sets a directed link's drop rate. The rate must be a
+// probability in [0, 1]; the link must exist in the simulated topology.
+func (s *Simulation) InjectFailure(l LinkID, rate float64) error {
+	if err := s.checkLink(l); err != nil {
+		return err
+	}
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return fmt.Errorf("vigil: drop rate %v outside [0, 1]", rate)
+	}
+	s.sim.InjectFailure(l, rate)
+	return nil
+}
+
+// ScheduleFailure attaches an epoch-indexed rate schedule to a link: from
+// the next epoch on, the link follows the schedule (re-injected when
+// active, restored to its noise rate when not), overriding manual
+// injections on the same link. Use the Flap, Window, Intermittent and
+// ConstantRate schedules — whose rates are validated here — or any custom
+// RateSchedule, whose rates the simulator checks as each epoch applies
+// them (an out-of-range rate then panics rather than silently corrupting
+// the run).
+func (s *Simulation) ScheduleFailure(l LinkID, sched RateSchedule) error {
+	if err := s.checkLink(l); err != nil {
+		return err
+	}
+	if sched == nil {
+		return fmt.Errorf("vigil: nil RateSchedule")
+	}
+	if err := checkScheduleRate(sched); err != nil {
+		return err
+	}
+	s.sim.Schedule(l, sched)
+	return nil
+}
+
+// checkScheduleRate validates the rate of the built-in schedule shapes up
+// front. Custom RateSchedule implementations are opaque here; the
+// simulator validates their rates epoch by epoch.
+func checkScheduleRate(sched RateSchedule) error {
+	var rate float64
+	switch sc := sched.(type) {
+	case ConstantRate:
+		rate = sc.Rate
+	case Window:
+		rate = sc.Rate
+	case Flap:
+		rate = sc.Rate
+	case Intermittent:
+		rate = sc.Rate
+	default:
+		return nil
+	}
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return fmt.Errorf("vigil: scheduled drop rate %v outside [0, 1]", rate)
+	}
+	return nil
+}
+
+// ClearSchedules detaches every rate schedule and restores the scheduled
+// links to their noise rates.
+func (s *Simulation) ClearSchedules() { s.sim.ClearSchedules() }
+
+func (s *Simulation) checkLink(l LinkID) error {
+	if l < 0 || int(l) >= len(s.sim.Topology().Links) {
+		return fmt.Errorf("vigil: link %d not in topology (%d links)", l, len(s.sim.Topology().Links))
+	}
+	return nil
+}
 
 // ClearFailure restores a link to its noise rate.
 func (s *Simulation) ClearFailure(l LinkID) { s.sim.ClearFailure(l) }
@@ -301,4 +385,33 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error)
 		return nil, fmt.Errorf("vigil: unknown experiment %q (see Experiments())", id)
 	}
 	return r.Run(opts)
+}
+
+// ScenarioInfo identifies a registered dynamic failure scenario.
+type ScenarioInfo struct {
+	Name  string
+	Title string
+}
+
+// Scenarios lists the registered dynamic failure scenarios (link flaps,
+// intermittent drops, failure waves, congestion bursts, overlap churn).
+func Scenarios() []ScenarioInfo {
+	specs := scenario.All()
+	out := make([]ScenarioInfo, len(specs))
+	for i, s := range specs {
+		out[i] = ScenarioInfo{Name: s.Name, Title: s.Title}
+	}
+	return out
+}
+
+// RunScenario runs one named dynamic scenario: a scripted multi-epoch
+// sequence of time-varying link conditions, each epoch analyzed by 007 and
+// scored against that epoch's ground truth. Results are deterministic for
+// a fixed ScenarioConfig.Seed and bit-identical at every Parallelism.
+func RunScenario(name string, cfg ScenarioConfig) (*ScenarioResult, error) {
+	spec, ok := scenario.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("vigil: unknown scenario %q (see Scenarios())", name)
+	}
+	return scenario.Run(spec, cfg)
 }

@@ -1,6 +1,7 @@
 package vigil_test
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -148,5 +149,185 @@ func TestRunExperimentUnknown(t *testing.T) {
 	}
 	if len(vigil.Experiments()) < 20 {
 		t.Fatalf("only %d experiments exposed", len(vigil.Experiments()))
+	}
+}
+
+// Error paths of the public API: every invalid input must come back as an
+// error, not a panic or a silently corrupted simulation.
+func TestPublicAPIErrorPaths(t *testing.T) {
+	t.Run("NewSimulation", func(t *testing.T) {
+		cases := []struct {
+			name string
+			topo vigil.TopologyConfig
+		}{
+			{"negative pods", vigil.TopologyConfig{Pods: -1, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 4}},
+			{"zero tors", vigil.TopologyConfig{Pods: 2, ToRsPerPod: 0, T1PerPod: 3, T2: 2, HostsPerToR: 4}},
+			{"tors out of range", vigil.TopologyConfig{Pods: 2, ToRsPerPod: 300, T1PerPod: 3, T2: 2, HostsPerToR: 4}},
+			{"multi-pod without T2", vigil.TopologyConfig{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 0, HostsPerToR: 4}},
+			{"hosts out of range", vigil.TopologyConfig{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 255}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if _, err := vigil.NewSimulation(vigil.SimConfig{Topology: tc.topo}); err == nil {
+					t.Fatalf("invalid topology %+v accepted", tc.topo)
+				}
+			})
+		}
+	})
+
+	t.Run("InjectFailure", func(t *testing.T) {
+		sim, err := vigil.NewSimulation(vigil.SimConfig{
+			Topology: vigil.TopologyConfig{Pods: 1, ToRsPerPod: 2, T1PerPod: 2, T2: 0, HostsPerToR: 2},
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nlinks := len(sim.Topology().Links)
+		good := sim.Topology().LinksOfClass(vigil.L1Up)[0]
+		cases := []struct {
+			name    string
+			link    vigil.LinkID
+			rate    float64
+			wantErr bool
+		}{
+			{"valid", good, 0.05, false},
+			{"rate zero", good, 0, false},
+			{"rate one", good, 1, false},
+			{"negative rate", good, -0.1, true},
+			{"rate above one", good, 1.5, true},
+			{"NaN rate", good, math.NaN(), true},
+			{"negative link", -1, 0.05, true},
+			{"link out of range", vigil.LinkID(nlinks), 0.05, true},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				err := sim.InjectFailure(tc.link, tc.rate)
+				if (err != nil) != tc.wantErr {
+					t.Fatalf("InjectFailure(%d, %v) error = %v, wantErr %v", tc.link, tc.rate, err, tc.wantErr)
+				}
+			})
+		}
+		sim.ClearAllFailures()
+	})
+
+	t.Run("ScheduleFailure", func(t *testing.T) {
+		sim, err := vigil.NewSimulation(vigil.SimConfig{
+			Topology: vigil.TopologyConfig{Pods: 1, ToRsPerPod: 2, T1PerPod: 2, T2: 0, HostsPerToR: 2},
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := sim.Topology().LinksOfClass(vigil.L1Up)[0]
+		if err := sim.ScheduleFailure(-1, vigil.ConstantRate{Rate: 0.1}); err == nil {
+			t.Fatal("unknown link accepted")
+		}
+		if err := sim.ScheduleFailure(good, nil); err == nil {
+			t.Fatal("nil schedule accepted")
+		}
+		for _, sched := range []vigil.RateSchedule{
+			vigil.ConstantRate{Rate: 1.5},
+			vigil.Window{Rate: -0.1, Start: 0, End: 2},
+			vigil.Flap{Rate: math.NaN(), Period: 2, On: 1},
+			vigil.Intermittent{Rate: 2, Prob: 0.5},
+		} {
+			if err := sim.ScheduleFailure(good, sched); err == nil {
+				t.Fatalf("out-of-range rate accepted in %T", sched)
+			}
+		}
+		if err := sim.ScheduleFailure(good, vigil.Flap{Rate: 0.1, Period: 2, On: 1}); err != nil {
+			t.Fatal(err)
+		}
+		sim.ClearSchedules()
+	})
+
+	t.Run("RunIDs", func(t *testing.T) {
+		cases := []struct {
+			name string
+			run  func() error
+		}{
+			{"unknown experiment", func() error {
+				_, err := vigil.RunExperiment("fig99", vigil.ExperimentOptions{})
+				return err
+			}},
+			{"empty experiment id", func() error {
+				_, err := vigil.RunExperiment("", vigil.ExperimentOptions{})
+				return err
+			}},
+			{"unknown scenario", func() error {
+				_, err := vigil.RunScenario("not-a-scenario", vigil.ScenarioConfig{Seed: 1})
+				return err
+			}},
+			{"empty scenario name", func() error {
+				_, err := vigil.RunScenario("", vigil.ScenarioConfig{Seed: 1})
+				return err
+			}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if tc.run() == nil {
+					t.Fatal("invalid ID accepted")
+				}
+			})
+		}
+	})
+}
+
+// The scenario facade: named scenarios list, run, score, and follow the
+// determinism contract end to end through the public API.
+func TestScenarioFacade(t *testing.T) {
+	infos := vigil.Scenarios()
+	if len(infos) < 5 {
+		t.Fatalf("only %d scenarios exposed", len(infos))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Title == "" {
+			t.Fatalf("unnamed scenario in listing: %+v", info)
+		}
+	}
+	run := func(p int) *vigil.ScenarioResult {
+		res, err := vigil.RunScenario("link-flap", vigil.ScenarioConfig{Seed: 11, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	if want.ActiveEpochs == 0 || len(want.Epochs) == 0 {
+		t.Fatalf("scenario run produced no scored epochs: %+v", want)
+	}
+	if want.Recall < 0.9 {
+		t.Fatalf("link-flap recall = %v, want >= 0.9", want.Recall)
+	}
+	if got := run(4); !reflect.DeepEqual(want, got) {
+		t.Fatal("Parallelism changed the scenario result through the facade")
+	}
+}
+
+// Custom dynamics through the facade: a scheduled link must raise drops
+// only during its scripted epochs.
+func TestScheduleFailureFacade(t *testing.T) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{
+		Topology: vigil.TopologyConfig{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 4, HostsPerToR: 4},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sim.Topology().LinksOfClass(vigil.L1Up)[1]
+	if err := sim.ScheduleFailure(bad, vigil.Window{Rate: 0.05, Start: 1, End: 2}); err != nil {
+		t.Fatal(err)
+	}
+	quiet := sim.RunEpoch()
+	if len(quiet.FailedLinks) != 0 {
+		t.Fatalf("epoch 0 should be quiet, FailedLinks = %v", quiet.FailedLinks)
+	}
+	active := sim.RunEpoch()
+	if len(active.FailedLinks) != 1 || active.FailedLinks[0] != bad {
+		t.Fatalf("epoch 1 FailedLinks = %v, want [%v]", active.FailedLinks, bad)
+	}
+	if active.Detection.Recall != 1 {
+		t.Fatalf("active epoch recall = %v", active.Detection.Recall)
 	}
 }
