@@ -95,6 +95,41 @@ func BenchmarkEpochSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterEpoch measures one packet-plane epoch at the §7 test
+// cluster scale (40 hosts, 80 physical links): every data packet, ACK,
+// traceroute probe and ICMP reply is emulated individually through the DES
+// fabric while the host agents run the real 007 cycle. This is the other
+// plane of BENCH_N.json's trajectory — the flow-plane epochs above are the
+// throughput story, this is the fidelity story.
+func BenchmarkClusterEpoch(b *testing.B) {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := topo.LinksOfClass(vigil.L1Down)[3]
+	if err := em.InjectFailure(bad, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	workload := vigil.Workload{
+		Pattern:        vigil.UniformTraffic(),
+		ConnsPerHost:   vigil.IntRange{Lo: 10, Hi: 10},
+		PacketsPerFlow: vigil.IntRange{Lo: 75, Hi: 150},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.StartWorkload(workload, 20*vigil.Second)
+		res := em.RunEpoch()
+		if res == nil || em.LastEpoch().Flows == 0 {
+			b.Fatal("no flows in cluster epoch")
+		}
+	}
+}
+
 func benchEpochAtParallelism(b *testing.B, parallelism int) {
 	b.Helper()
 	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1, Parallelism: parallelism})

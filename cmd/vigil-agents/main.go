@@ -58,7 +58,9 @@ func main() {
 	pool := topo.LinksOfClass(topology.L1Down)
 	for i := 0; i < *failures; i++ {
 		l := pool[rng.Intn(len(pool))]
-		em.InjectFailure(l, *rate)
+		if err := em.InjectFailure(l, *rate); err != nil {
+			fail(err)
+		}
 		bad = append(bad, l)
 		fmt.Printf("injected %.1f%% loss on %s\n", *rate*100, topo.LinkName(l))
 	}

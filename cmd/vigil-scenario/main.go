@@ -3,12 +3,19 @@
 // failure waves, congestion bursts, churn), each epoch analyzed by 007 and
 // scored against that epoch's ground truth.
 //
+// Scenarios run on either evaluation plane: the flow-level simulator (§6,
+// the default) or the packet-level cluster emulation (§7/§8), where every
+// data packet, ACK, traceroute probe and ICMP reply is emulated
+// individually.
+//
 // Usage:
 //
 //	vigil-scenario -list                     # names and titles
 //	vigil-scenario -name link-flap           # run one scenario
 //	vigil-scenario -name all -seed 3         # every scenario
 //	vigil-scenario -name failure-wave -epochs 30 -timeline
+//	vigil-scenario -name link-flap -plane packet
+//	vigil-scenario -name intermittent-failure -plane both -epochs 8
 package main
 
 import (
@@ -25,9 +32,23 @@ func main() {
 	list := flag.Bool("list", false, "list scenario names and exit")
 	seed := flag.Uint64("seed", 7, "base random seed")
 	epochs := flag.Int("epochs", 0, "override the scenario's scripted epoch count (0 = spec default)")
-	parallel := flag.Int("par", 0, "epoch engine worker count (0 = all cores); results are identical at any setting")
+	plane := flag.String("plane", "flow", "evaluation plane: flow, packet, or both")
+	parallel := flag.Int("par", 0, "epoch engine worker count on the flow plane (0 = all cores); results are identical at any setting")
 	timeline := flag.Bool("timeline", true, "print the per-epoch timeline table")
 	flag.Parse()
+
+	var planes []vigil.Plane
+	switch *plane {
+	case "flow":
+		planes = []vigil.Plane{vigil.OnFlowPlane}
+	case "packet":
+		planes = []vigil.Plane{vigil.OnPacketPlane}
+	case "both":
+		planes = []vigil.Plane{vigil.OnFlowPlane, vigil.OnPacketPlane}
+	default:
+		fmt.Fprintf(os.Stderr, "vigil-scenario: unknown plane %q (want flow, packet or both)\n", *plane)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, info := range vigil.Scenarios() {
@@ -47,21 +68,24 @@ func main() {
 
 	for _, n := range names {
 		n = strings.TrimSpace(n)
-		res, err := vigil.RunScenario(n, vigil.ScenarioConfig{
-			Seed:        *seed,
-			Epochs:      *epochs,
-			Parallelism: *parallel,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
-			os.Exit(1)
+		for _, pl := range planes {
+			res, err := vigil.RunScenario(n, vigil.ScenarioConfig{
+				Seed:        *seed,
+				Epochs:      *epochs,
+				Plane:       pl,
+				Parallelism: *parallel,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
+				os.Exit(1)
+			}
+			render(n, res, *timeline)
 		}
-		render(n, res, *timeline)
 	}
 }
 
 func render(name string, res *vigil.ScenarioResult, timeline bool) {
-	fmt.Printf("== scenario %s ==\n\n", name)
+	fmt.Printf("== scenario %s (%s plane) ==\n\n", name, res.Plane)
 	if timeline {
 		tab := vigil.Table{
 			Title:   "per-epoch timeline",

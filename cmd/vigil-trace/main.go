@@ -43,7 +43,9 @@ func main() {
 		fail(err)
 	}
 	bad := path.Links[2]
-	em.InjectFailure(bad, *rate)
+	if err := em.InjectFailure(bad, *rate); err != nil {
+		fail(err)
+	}
 	fmt.Printf("flow %v\ninjected %.1f%% loss on %s\n\n", tuple, *rate*100, topo.LinkName(bad))
 
 	var reports []vote.Report

@@ -56,8 +56,12 @@ func main() {
 	// The §7.3 experiment: two T1→ToR links with different drop rates.
 	hi := topo.LinksOfClass(vigil.L1Down)[9]
 	lo := topo.LinksOfClass(vigil.L1Down)[30]
-	em.InjectFailure(hi, 0.002)
-	em.InjectFailure(lo, 0.001)
+	if err := em.InjectFailure(hi, 0.002); err != nil {
+		log.Fatal(err)
+	}
+	if err := em.InjectFailure(lo, 0.001); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("injected 0.2%% on %s, 0.1%% on %s\n\n",
 		vigil.LinkName(topo, hi), vigil.LinkName(topo, lo))
 

@@ -36,7 +36,9 @@ func main() {
 	// The gremlin: a backend's ToR→host link drops most packets — the
 	// §8.3 finding that host-ToR links explain the majority of reboots.
 	bad := topo.Hosts[backends[0]].Downlink
-	em.InjectFailure(bad, 0.7)
+	if err := em.InjectFailure(bad, 0.7); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("storage service at VIP with %d backends\n", len(backends))
 	fmt.Printf("injected: 70%% loss on %s\n\n", vigil.LinkName(topo, bad))
 

@@ -14,6 +14,7 @@ import (
 	"vigil/internal/ecmp"
 	"vigil/internal/fabric"
 	"vigil/internal/metrics"
+	"vigil/internal/schedule"
 	"vigil/internal/slb"
 	"vigil/internal/stats"
 	"vigil/internal/theory"
@@ -26,6 +27,11 @@ import (
 type Config struct {
 	Topo *topology.Topology
 	Seed uint64
+	// NoiseLo/NoiseHi bound the per-link baseline (noise) drop rate of good
+	// links, mirroring the flow simulator's good-link noise: each link's
+	// baseline is drawn uniformly from [NoiseLo, NoiseHi). Both zero means
+	// no noise — the seed emulation's historical behaviour.
+	NoiseLo, NoiseHi float64
 	// Tmax is the switch ICMP cap (default 100/s); Ct the host traceroute
 	// budget (default: the Theorem 1 bound for this topology and Tmax).
 	Tmax float64
@@ -65,10 +71,43 @@ type Cluster struct {
 	failures map[topology.LinkID]float64
 	flowIDs  map[ecmp.FiveTuple]int64
 	flows    []*flowRecord
-	// dropsByFlow is ground truth harvested from fabric drop taps.
-	dropsByFlow map[ecmp.FiveTuple]map[topology.LinkID]int
+	// wireFlows indexes the forward wire tuple of every started connection
+	// to its flow id (latest flow wins a reused tuple, as in real TCP).
+	// The ground-truth tap matches against it, so reverse-direction ACKs
+	// and stray packets never enter the drop bookkeeping.
+	wireFlows map[ecmp.FiveTuple]int64
+	// dropsByFlow is ground truth harvested from fabric drop taps, keyed
+	// by flow id.
+	dropsByFlow map[int64]map[topology.LinkID]int
 
 	epochStart des.Time
+	// Epoch rotation state: epochIdx feeds the fabric's rate schedules;
+	// epochFirstFlow marks where the current epoch's flows begin in flows;
+	// epochDrops counts data-packet drops observed this epoch; lastEpoch is
+	// the frame RunEpoch captured before rolling.
+	epochIdx       int
+	epochFirstFlow int
+	epochDrops     int
+	lastEpoch      EpochFrame
+}
+
+// EpochFrame is the per-epoch ground-truth bookkeeping the plane-agnostic
+// engine scores against: the failure set that was live during the epoch and
+// the outcome of the flows started in it.
+type EpochFrame struct {
+	// Index is the epoch's index (the value fed to RateSchedule.RateAt).
+	Index int
+	// FailedLinks is the epoch's settled failure set, sorted.
+	FailedLinks []topology.LinkID
+	// Flows counts connections started this epoch; FailedFlows those that
+	// lost at least one data packet; Drops the epoch's total data-packet
+	// drops (probes and ACKs excluded, matching the paper's attribution
+	// semantics).
+	Flows       int
+	FailedFlows int
+	Drops       int
+	// Truth maps this epoch's failed flows to their ground truth.
+	Truth map[int64]metrics.FlowTruth
 }
 
 // flowRecord tracks one started connection for ground-truth scoring.
@@ -115,6 +154,9 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.NoiseHi < cfg.NoiseLo || cfg.NoiseLo < 0 || cfg.NoiseHi > 1 {
+		return nil, fmt.Errorf("cluster: bad noise range [%g,%g)", cfg.NoiseLo, cfg.NoiseHi)
+	}
 	cl := &Cluster{
 		cfg:         cfg,
 		Topo:        cfg.Topo,
@@ -126,7 +168,19 @@ func New(cfg Config) (*Cluster, error) {
 		rng:         rng,
 		failures:    make(map[topology.LinkID]float64),
 		flowIDs:     make(map[ecmp.FiveTuple]int64),
-		dropsByFlow: make(map[ecmp.FiveTuple]map[topology.LinkID]int),
+		wireFlows:   make(map[ecmp.FiveTuple]int64),
+		dropsByFlow: make(map[int64]map[topology.LinkID]int),
+	}
+	if cfg.NoiseHi > 0 {
+		// Baseline noise rates come from a stream derived from the seed, not
+		// from cl.rng, so enabling noise does not shift any of the existing
+		// RNG splits (routing seeds, SLB, workload generation).
+		noiseRNG := stats.DeriveRNG(cfg.Seed, noiseDomain)
+		for l := range cfg.Topo.Links {
+			if err := net.SetBaseRate(topology.LinkID(l), noiseRNG.Uniform(cfg.NoiseLo, cfg.NoiseHi)); err != nil {
+				return nil, err
+			}
+		}
 	}
 	cl.Reporter = cl.Agent.Submit
 	net.AddTap(cl.groundTruthTap)
@@ -137,16 +191,70 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// InjectFailure sets a directed link's drop rate.
-func (cl *Cluster) InjectFailure(l topology.LinkID, rate float64) {
+// noiseDomain derives the baseline-noise stream from the cluster seed.
+const noiseDomain = 0x7c5a31e49f0b8d27
+
+// InjectFailure sets a directed link's drop rate. The rate must be a
+// probability in [0, 1]; the link must exist in the emulated topology.
+func (cl *Cluster) InjectFailure(l topology.LinkID, rate float64) error {
+	if err := cl.Net.SetDropRate(l, rate); err != nil {
+		return err
+	}
 	cl.failures[l] = rate
-	cl.Net.SetDropRate(l, rate)
+	return nil
 }
 
-// ClearFailure removes an injected failure.
-func (cl *Cluster) ClearFailure(l topology.LinkID) {
+// ClearFailure removes an injected failure, restoring the link to its
+// baseline (noise) rate.
+func (cl *Cluster) ClearFailure(l topology.LinkID) error {
+	if err := cl.Net.ResetDropRate(l); err != nil {
+		return err
+	}
 	delete(cl.failures, l)
-	cl.Net.SetDropRate(l, 0)
+	return nil
+}
+
+// ScheduleFailure attaches an epoch-indexed rate schedule to a link: from
+// the next epoch on, the link follows the schedule — re-injected at the
+// scripted rate when active, restored to its baseline rate when not —
+// overriding manual injections on the same link, exactly as on the flow
+// plane (netem.Sim.Schedule). Built-in shapes' rates are validated here; a
+// custom RateSchedule is validated epoch by epoch as it is applied.
+func (cl *Cluster) ScheduleFailure(l topology.LinkID, s schedule.RateSchedule) error {
+	return cl.Net.Schedule(l, s)
+}
+
+// ClearSchedules detaches every rate schedule and restores the scheduled
+// links to their baseline rates, dropping them from the failure set.
+func (cl *Cluster) ClearSchedules() {
+	for _, ls := range cl.Net.Schedules() {
+		delete(cl.failures, ls.Link)
+	}
+	cl.Net.ClearSchedules()
+}
+
+// EpochIndex returns the index the next RunEpoch call will emulate (the
+// number of epochs run so far).
+func (cl *Cluster) EpochIndex() int { return cl.epochIdx }
+
+// applySchedules settles every scheduled link for the current epoch: the
+// fabric applies the scripted rates, and the failure map — detection ground
+// truth — mirrors the scripted active set. It runs at the top of RunEpoch,
+// before any of the epoch's queued packets fly (StartWorkload and StartFlow
+// only enqueue virtual-time events; nothing transmits until RunUntil). A
+// schedule emitting a rate outside [0, 1] is a broken script and panics
+// loudly, matching the flow plane's contract.
+func (cl *Cluster) applySchedules() {
+	if err := cl.Net.ApplySchedules(cl.epochIdx); err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	for _, ls := range cl.Net.Schedules() {
+		if rate, active := ls.Schedule.RateAt(cl.epochIdx); active {
+			cl.failures[ls.Link] = rate
+		} else {
+			delete(cl.failures, ls.Link)
+		}
+	}
 }
 
 // FailedLinks returns the injected failure set.
@@ -176,8 +284,11 @@ func (cl *Cluster) flowID(flow ecmp.FiveTuple) int64 {
 	return -1
 }
 
-// groundTruthTap harvests per-flow per-link drops of data packets (probes
-// carry a non-zero IP ID and are excluded).
+// groundTruthTap harvests per-flow per-link drops of data packets. Probes
+// carry a non-zero IP ID and are excluded; ACKs and any other traffic not
+// matching a started connection's forward wire tuple fall through the
+// wireFlows lookup, so only forward-direction data drops count — the
+// paper's attribution semantics.
 func (cl *Cluster) groundTruthTap(ev fabric.TapEvent) {
 	if !ev.Dropped || ev.IP.Protocol != ecmp.ProtoTCP || ev.IP.ID != 0 {
 		return
@@ -186,12 +297,17 @@ func (cl *Cluster) groundTruthTap(ev fabric.TapEvent) {
 		SrcIP: ev.IP.Src, DstIP: ev.IP.Dst,
 		SrcPort: ev.SrcPort, DstPort: ev.DstPort, Proto: ecmp.ProtoTCP,
 	}
-	m := cl.dropsByFlow[tuple]
+	id, ok := cl.wireFlows[tuple]
+	if !ok {
+		return
+	}
+	m := cl.dropsByFlow[id]
 	if m == nil {
 		m = make(map[topology.LinkID]int)
-		cl.dropsByFlow[tuple] = m
+		cl.dropsByFlow[id] = m
 	}
 	m[ev.Egress]++
+	cl.epochDrops++
 }
 
 // StartFlow opens a direct (DIP-addressed) connection at time at.
@@ -228,6 +344,7 @@ func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.
 	}
 	cl.flows = append(cl.flows, rec)
 	cl.flowIDs[appTuple] = rec.id
+	cl.wireFlows[wireTuple] = rec.id
 	cl.Sched.At(at, func() {
 		rec.conn = cl.Hosts[src].openConn(wireTuple, appTuple, packets, nil)
 	})
@@ -242,10 +359,12 @@ func (cl *Cluster) StartWorkload(w traffic.Workload, spread des.Time) {
 	}
 }
 
-// RunEpoch drives the emulation to the end of the current epoch (plus a
-// small grace period for in-flight traceroutes), rolls the host agents'
-// epochs and closes the analysis epoch.
+// RunEpoch drives one epoch of the emulation: settle scripted link rates,
+// run virtual time to the end of the epoch (plus a small grace period for
+// in-flight traceroutes), capture the epoch's ground-truth frame, roll the
+// host agents' epochs and close the analysis epoch.
 func (cl *Cluster) RunEpoch() *analysis.Result {
+	cl.applySchedules()
 	end := cl.epochStart + cl.cfg.EpochLength
 	cl.Sched.RunUntil(end + 2*des.Second)
 	cl.epochStart = cl.Sched.Now()
@@ -253,36 +372,77 @@ func (cl *Cluster) RunEpoch() *analysis.Result {
 		h.Mon.NewEpoch()
 		h.Path.NewEpoch()
 	}
+	cl.captureEpochFrame()
 	return cl.Agent.CloseEpoch()
 }
 
+// captureEpochFrame snapshots the closing epoch's ground truth — while
+// cl.failures still holds the epoch's settled failure set — and rolls the
+// per-epoch flow bookkeeping.
+func (cl *Cluster) captureEpochFrame() {
+	epochFlows := cl.flows[cl.epochFirstFlow:]
+	fr := EpochFrame{
+		Index:       cl.epochIdx,
+		FailedLinks: cl.FailedLinks(),
+		Flows:       len(epochFlows),
+		Drops:       cl.epochDrops,
+		Truth:       make(map[int64]metrics.FlowTruth, len(epochFlows)),
+	}
+	for _, rec := range epochFlows {
+		tr, failed := cl.flowTruth(rec)
+		if !failed {
+			continue
+		}
+		fr.FailedFlows++
+		fr.Truth[rec.id] = tr
+	}
+	cl.lastEpoch = fr
+	cl.epochIdx++
+	cl.epochFirstFlow = len(cl.flows)
+	cl.epochDrops = 0
+}
+
+// LastEpoch returns the ground-truth frame of the most recently completed
+// epoch. The plane-agnostic engine (internal/engine) scores against it.
+func (cl *Cluster) LastEpoch() EpochFrame { return cl.lastEpoch }
+
+// flowTruth derives one flow's ground truth from the tap-harvested drop
+// counts and the current failure set; failed is false when the flow lost no
+// data packets.
+func (cl *Cluster) flowTruth(rec *flowRecord) (tr metrics.FlowTruth, failed bool) {
+	drops := cl.dropsByFlow[rec.id]
+	if len(drops) == 0 {
+		return metrics.FlowTruth{}, false
+	}
+	best := topology.NoLink
+	bestN := 0
+	for l, n := range drops {
+		if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
+			best, bestN = l, n
+		}
+	}
+	tr = metrics.FlowTruth{Culprit: best}
+	if path, err := cl.Router.Path(rec.src, rec.dst, rec.wireTuple); err == nil {
+		for _, l := range path.Links {
+			if _, bad := cl.failures[l]; bad {
+				tr.CrossedFailure = true
+				break
+			}
+		}
+	}
+	return tr, true
+}
+
 // Truth builds the ground-truth map for scoring, from the fabric's drop
-// taps and the injected failure set. Only forward-direction data-packet
-// drops count, matching the paper's attribution semantics.
+// taps and the injected failure set, over every flow started so far. Only
+// forward-direction data-packet drops count, matching the paper's
+// attribution semantics.
 func (cl *Cluster) Truth() map[int64]metrics.FlowTruth {
 	out := make(map[int64]metrics.FlowTruth)
 	for _, rec := range cl.flows {
-		drops := cl.dropsByFlow[rec.wireTuple]
-		if len(drops) == 0 {
-			continue
+		if tr, failed := cl.flowTruth(rec); failed {
+			out[rec.id] = tr
 		}
-		best := topology.NoLink
-		bestN := 0
-		for l, n := range drops {
-			if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
-				best, bestN = l, n
-			}
-		}
-		tr := metrics.FlowTruth{Culprit: best}
-		if path, err := cl.Router.Path(rec.src, rec.dst, rec.wireTuple); err == nil {
-			for _, l := range path.Links {
-				if _, bad := cl.failures[l]; bad {
-					tr.CrossedFailure = true
-					break
-				}
-			}
-		}
-		out[rec.id] = tr
 	}
 	return out
 }

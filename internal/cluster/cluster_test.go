@@ -8,6 +8,7 @@ import (
 	"vigil/internal/ecmp"
 	"vigil/internal/everflow"
 	"vigil/internal/metrics"
+	"vigil/internal/schedule"
 	"vigil/internal/slb"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
@@ -470,5 +471,151 @@ func TestLatencyDisabledByDefault(t *testing.T) {
 	res := cl.RunEpoch()
 	if res.Tally.Flows() != 0 {
 		t.Fatalf("delay-only fault produced %d reports with latency diagnosis off", res.Tally.Flows())
+	}
+}
+
+// InjectFailure and ClearFailure must validate their inputs (the fabric
+// got validated setters; the cluster surfaces them).
+func TestInjectFailureValidation(t *testing.T) {
+	cl := testCluster(t, 20)
+	nlinks := len(cl.Topo.Links)
+	good := cl.Topo.LinksOfClass(topology.L1Up)[0]
+	for _, l := range []topology.LinkID{-1, topology.LinkID(nlinks)} {
+		if err := cl.InjectFailure(l, 0.1); err == nil {
+			t.Fatalf("InjectFailure accepted link %d", l)
+		}
+		if err := cl.ClearFailure(l); err == nil {
+			t.Fatalf("ClearFailure accepted link %d", l)
+		}
+	}
+	for _, rate := range []float64{-0.1, 1.5} {
+		if err := cl.InjectFailure(good, rate); err == nil {
+			t.Fatalf("InjectFailure accepted rate %v", rate)
+		}
+	}
+	if err := cl.InjectFailure(good, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.FailedLinks(); len(got) != 1 || got[0] != good {
+		t.Fatalf("FailedLinks = %v", got)
+	}
+	// A rejected injection must not enter the failure set.
+	if err := cl.InjectFailure(cl.Topo.LinksOfClass(topology.L1Up)[1], 2.0); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if got := cl.FailedLinks(); len(got) != 1 {
+		t.Fatalf("rejected injection leaked into FailedLinks: %v", got)
+	}
+	if err := cl.ClearFailure(good); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.FailedLinks(); len(got) != 0 {
+		t.Fatalf("FailedLinks = %v after clear", got)
+	}
+}
+
+// A scheduled link must rotate with the epochs: failed (and dropping)
+// during its scripted window, healthy outside it, with the per-epoch frame
+// recording exactly the settled set.
+func TestScheduledFailureRotatesAcrossEpochs(t *testing.T) {
+	cl := testCluster(t, 21)
+	topo := cl.Topo
+	bad := topo.LinksOfClass(topology.L1Down)[3]
+	if err := cl.ScheduleFailure(bad, schedule.Window{Rate: 0.05, Start: 1, End: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 4, Hi: 4},
+		PacketsPerFlow: traffic.IntRange{Lo: 60, Hi: 60},
+	}
+	for e := 0; e < 3; e++ {
+		if got := cl.EpochIndex(); got != e {
+			t.Fatalf("EpochIndex = %d before epoch %d", got, e)
+		}
+		cl.StartWorkload(w, 10*des.Second)
+		res := cl.RunEpoch()
+		fr := cl.LastEpoch()
+		if fr.Index != e {
+			t.Fatalf("frame index = %d, want %d", fr.Index, e)
+		}
+		if fr.Flows == 0 {
+			t.Fatalf("epoch %d: no flows recorded", e)
+		}
+		active := e == 1
+		if active {
+			if len(fr.FailedLinks) != 1 || fr.FailedLinks[0] != bad {
+				t.Fatalf("epoch %d: frame FailedLinks = %v, want [%v]", e, fr.FailedLinks, bad)
+			}
+			if fr.Drops == 0 || fr.FailedFlows == 0 || len(fr.Truth) != fr.FailedFlows {
+				t.Fatalf("epoch %d: no drop signal in frame: %+v", e, fr)
+			}
+			if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
+				t.Fatalf("epoch %d: scheduled link not top-ranked", e)
+			}
+			crossed := false
+			for _, tr := range fr.Truth {
+				if tr.CrossedFailure {
+					crossed = true
+				}
+			}
+			if !crossed {
+				t.Fatalf("epoch %d: no truth entry crossed the scheduled failure", e)
+			}
+		} else if len(fr.FailedLinks) != 0 {
+			t.Fatalf("epoch %d: frame FailedLinks = %v, want none", e, fr.FailedLinks)
+		}
+	}
+	cl.ClearSchedules()
+	if got := cl.FailedLinks(); len(got) != 0 {
+		t.Fatalf("ClearSchedules left failures: %v", got)
+	}
+}
+
+// ScheduleFailure must validate its inputs like the flow plane does.
+func TestScheduleFailureValidation(t *testing.T) {
+	cl := testCluster(t, 23)
+	good := cl.Topo.LinksOfClass(topology.L1Up)[0]
+	if err := cl.ScheduleFailure(-1, schedule.ConstantRate{Rate: 0.1}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if err := cl.ScheduleFailure(good, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	if err := cl.ScheduleFailure(good, schedule.ConstantRate{Rate: 1.5}); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if err := cl.ScheduleFailure(good, schedule.ConstantRate{Rate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Configured noise must surface as a baseline: failures cleared on a noisy
+// link return to the drawn noise rate, not to zero, and bad ranges error.
+func TestClusterNoiseBaseline(t *testing.T) {
+	topo, err := topology.New(topology.TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Topo: topo, Seed: 24, NoiseLo: 0.5, NoiseHi: 0.1}); err == nil {
+		t.Fatal("inverted noise range accepted")
+	}
+	cl, err := New(Config{Topo: topo, Seed: 24, NoiseLo: 1e-7, NoiseHi: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := topo.LinksOfClass(topology.L1Up)[2]
+	base := cl.Net.DropRate(l)
+	if base < 1e-7 || base >= 1e-6 {
+		t.Fatalf("noise baseline %v outside [1e-7, 1e-6)", base)
+	}
+	if err := cl.InjectFailure(l, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ClearFailure(l); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Net.DropRate(l); got != base {
+		t.Fatalf("cleared link at %v, want its noise baseline %v", got, base)
 	}
 }

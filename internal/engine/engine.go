@@ -1,0 +1,245 @@
+// Package engine is the plane-agnostic epoch engine: one interface over
+// the paper's two validation substrates — the flow-level simulator
+// (internal/netem, §6) and the packet-level cluster emulation
+// (internal/cluster over internal/fabric, §7/§8). Each epoch an Engine
+// settles its scripted link rates, drives one 30-second round of its
+// plane, runs 007's full analysis cycle and yields an EpochResult carrying
+// the epoch's ground truth next to 007's output.
+//
+// Everything above this package — the scenario engine, the conformance
+// suite, the experiment harness, the vigil facade — is plane-generic: the
+// five named dynamic scenarios run unmodified on either plane, and the
+// cross-plane conformance suite holds the two planes to the same
+// statistical envelopes (the extended paper's point that 007's hardest
+// regimes hold in both simulation and emulation).
+//
+// Determinism: a seeded engine is deterministic — same seed and same
+// schedules give bit-identical EpochResults across repeated runs. The flow
+// plane is additionally bit-identical at every Parallelism setting; the
+// packet plane's DES is single-threaded on virtual time, so packet-plane
+// parallelism comes from fanning out independent replicas (one engine per
+// seed) across the internal/par pool, never from sharding one replica.
+package engine
+
+import (
+	"fmt"
+
+	"vigil/internal/analysis"
+	"vigil/internal/metrics"
+	"vigil/internal/netem"
+	"vigil/internal/schedule"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// Plane names an evaluation substrate.
+type Plane string
+
+// The two planes of the paper's evaluation.
+const (
+	// Flow is the flow-level simulation plane (§6): fast, scales to the
+	// paper's 4160-link datacenter, drops sampled per flow.
+	Flow Plane = "flow"
+	// Packet is the packet-level emulation plane (§7/§8): real host agents,
+	// TCP-like retransmissions, crafted-probe traceroutes, ICMP rate
+	// limiting, serialized packets on a DES fabric.
+	Packet Plane = "packet"
+)
+
+// Valid reports whether p names a known plane.
+func (p Plane) Valid() bool { return p == Flow || p == Packet }
+
+// EpochResult is the plane-agnostic outcome of one epoch: 007's outputs
+// (reports, ranking, detections, verdicts) next to the epoch's ground
+// truth (settled failure set, per-flow culprits, drop totals).
+type EpochResult struct {
+	// Epoch is the epoch's index (the value schedules saw in RateAt).
+	Epoch int
+	// FailedLinks is the epoch's settled failure set, sorted. It may share
+	// storage with other epochs of the same engine; treat it as read-only.
+	FailedLinks []topology.LinkID
+	// Reports carries what 007's analysis agent received this epoch.
+	Reports []vote.Report
+	// Ranking is the vote heat-map, highest first.
+	Ranking []vote.LinkVotes
+	// Detected is Algorithm 1's problematic link set, in blame order.
+	Detected []topology.LinkID
+	// Verdicts are 007's per-flow conclusions for every reported flow.
+	Verdicts []vote.Verdict
+	// Truth maps failed flows (>= 1 packet lost) to their ground truth.
+	Truth map[int64]metrics.FlowTruth
+	// TotalFlows, FailedFlows and TotalDrops summarize the epoch.
+	TotalFlows  int
+	FailedFlows int
+	TotalDrops  int
+}
+
+// Engine is one plane's epoch driver. Implementations settle scripted
+// rates at the top of each epoch, before any of the epoch's randomness is
+// drawn, and score the epoch against the settled failure set.
+type Engine interface {
+	// Plane identifies the substrate.
+	Plane() Plane
+	// Topology returns the emulated or simulated network.
+	Topology() *topology.Topology
+	// InjectFailure sets a directed link's drop rate (a probability).
+	InjectFailure(l topology.LinkID, rate float64) error
+	// ClearFailure restores a link to its baseline (noise) rate.
+	ClearFailure(l topology.LinkID) error
+	// ClearAllFailures restores every manually injected link.
+	ClearAllFailures()
+	// Schedule attaches an epoch-indexed rate schedule to a link.
+	Schedule(l topology.LinkID, s schedule.RateSchedule) error
+	// ClearSchedules detaches every schedule.
+	ClearSchedules()
+	// EpochIndex returns the index the next RunEpoch call will run.
+	EpochIndex() int
+	// RunEpoch drives one epoch and returns its result.
+	RunEpoch() *EpochResult
+}
+
+// Config parametrizes an engine of either plane.
+type Config struct {
+	// Plane selects the substrate; empty means Flow.
+	Plane Plane
+	// Topo is the network; required.
+	Topo *topology.Topology
+	// Workload is the per-epoch traffic; a nil Pattern means the plane
+	// default (the paper's uniform 60 conns/host on the flow plane, a
+	// lighter uniform workload on the packet plane, where every packet is
+	// individually emulated).
+	Workload traffic.Workload
+	// NoiseLo/NoiseHi bound good-link noise rates; both zero means the
+	// paper's (0, 1e-6).
+	NoiseLo, NoiseHi float64
+	// TracerouteCap limits traced flows per host per epoch on the flow
+	// plane (0 = unlimited). The packet plane enforces the real limits
+	// natively — the host-side Ct budget and switch-side Tmax token bucket.
+	TracerouteCap int
+	// Seed drives every random choice of the engine.
+	Seed uint64
+	// Parallelism is the flow plane's epoch worker count (0 = all cores);
+	// results are bit-identical at every setting. The packet plane ignores
+	// it: a DES replica is single-threaded by design, and parallelism comes
+	// from fanning replicas out across seeds.
+	Parallelism int
+	// Detect configures Algorithm 1; the zero value means the paper's 1%
+	// threshold.
+	Detect vote.DetectOptions
+}
+
+// New builds an engine on the configured plane.
+func New(cfg Config) (Engine, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("engine: Config.Topo is required")
+	}
+	plane := cfg.Plane
+	if plane == "" {
+		plane = Flow
+	}
+	if cfg.NoiseLo == 0 && cfg.NoiseHi == 0 {
+		cfg.NoiseHi = 1e-6
+	}
+	if cfg.Detect.ThresholdFrac == 0 {
+		cfg.Detect.ThresholdFrac = 0.01
+	}
+	switch plane {
+	case Flow:
+		return newFlowEngine(cfg)
+	case Packet:
+		return newPacketEngine(cfg)
+	default:
+		return nil, fmt.Errorf("engine: unknown plane %q", plane)
+	}
+}
+
+// flowEngine adapts netem.Sim: simulate the epoch, then run the parallel
+// analysis pipeline over its reports.
+type flowEngine struct {
+	sim         *netem.Sim
+	detect      vote.DetectOptions
+	parallelism int
+}
+
+func newFlowEngine(cfg Config) (*flowEngine, error) {
+	w := cfg.Workload
+	if w.Pattern == nil {
+		w = traffic.DefaultWorkload()
+	}
+	sim, err := netem.New(netem.Config{
+		Topo:          cfg.Topo,
+		Workload:      w,
+		NoiseLo:       cfg.NoiseLo,
+		NoiseHi:       cfg.NoiseHi,
+		TracerouteCap: cfg.TracerouteCap,
+		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &flowEngine{sim: sim, detect: cfg.Detect, parallelism: cfg.Parallelism}, nil
+}
+
+func (e *flowEngine) Plane() Plane                 { return Flow }
+func (e *flowEngine) Topology() *topology.Topology { return e.sim.Topology() }
+
+func (e *flowEngine) checkLink(l topology.LinkID) error {
+	return e.sim.Topology().CheckLink(l)
+}
+
+func (e *flowEngine) InjectFailure(l topology.LinkID, rate float64) error {
+	if err := e.checkLink(l); err != nil {
+		return err
+	}
+	if !schedule.ValidRate(rate) {
+		return fmt.Errorf("engine: drop rate %v outside [0, 1]", rate)
+	}
+	e.sim.InjectFailure(l, rate)
+	return nil
+}
+
+func (e *flowEngine) ClearFailure(l topology.LinkID) error {
+	if err := e.checkLink(l); err != nil {
+		return err
+	}
+	e.sim.ClearFailure(l)
+	return nil
+}
+
+func (e *flowEngine) Schedule(l topology.LinkID, s schedule.RateSchedule) error {
+	if err := e.checkLink(l); err != nil {
+		return err
+	}
+	if s == nil {
+		return fmt.Errorf("engine: nil RateSchedule")
+	}
+	if err := schedule.CheckRate(s); err != nil {
+		return err
+	}
+	e.sim.Schedule(l, s)
+	return nil
+}
+
+func (e *flowEngine) ClearAllFailures() { e.sim.ClearAllFailures() }
+func (e *flowEngine) ClearSchedules()   { e.sim.ClearSchedules() }
+func (e *flowEngine) EpochIndex() int   { return e.sim.EpochIndex() }
+
+func (e *flowEngine) RunEpoch() *EpochResult {
+	epoch := e.sim.EpochIndex()
+	ep := e.sim.RunEpoch()
+	an := analysis.Analyze(ep.Reports, analysis.Options{Detect: e.detect, Parallelism: e.parallelism})
+	return &EpochResult{
+		Epoch:       epoch,
+		FailedLinks: ep.FailedLinks,
+		Reports:     ep.Reports,
+		Ranking:     an.Ranking,
+		Detected:    an.Detected,
+		Verdicts:    an.Verdicts,
+		Truth:       ep.Truth(),
+		TotalFlows:  ep.TotalFlows,
+		FailedFlows: len(ep.Failed),
+		TotalDrops:  ep.TotalDrops,
+	}
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"vigil/internal/cluster"
+	"vigil/internal/des"
+	"vigil/internal/schedule"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// packetWorkloadDefault is the packet plane's default per-epoch traffic: a
+// uniform pattern light enough that a DES replica — which emulates every
+// data packet, ACK, probe and ICMP reply individually — finishes an epoch
+// in tens of milliseconds, while still putting enough flows across a
+// failed link that Algorithm 1 has a signal every active epoch.
+func packetWorkloadDefault() traffic.Workload {
+	return traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 24, Hi: 24},
+		PacketsPerFlow: traffic.IntRange{Lo: 80, Hi: 160},
+	}
+}
+
+// workloadSpread is how far into the epoch new connections are spread —
+// matching the experiment harness's 20 virtual seconds, which leaves every
+// flow time to finish (or fail) before the epoch closes.
+const workloadSpread = 20 * des.Second
+
+// packetEngine adapts cluster.Cluster: every epoch it starts a fresh
+// workload, drives the DES to the epoch boundary (the cluster settles
+// scripted rates and rolls its ground-truth frame), and pairs the embedded
+// analysis agent's output with the frame.
+type packetEngine struct {
+	cl       *cluster.Cluster
+	workload traffic.Workload
+	// reports accumulates the epoch's reports via the cluster's Reporter
+	// hook, on top of the default in-process delivery to the analysis agent.
+	reports []vote.Report
+}
+
+func newPacketEngine(cfg Config) (*packetEngine, error) {
+	cl, err := cluster.New(cluster.Config{
+		Topo:    cfg.Topo,
+		Seed:    cfg.Seed,
+		NoiseLo: cfg.NoiseLo,
+		NoiseHi: cfg.NoiseHi,
+		Detect:  cfg.Detect,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &packetEngine{cl: cl, workload: cfg.Workload}
+	if e.workload.Pattern == nil {
+		e.workload = packetWorkloadDefault()
+	}
+	base := cl.Reporter
+	cl.Reporter = func(r vote.Report) {
+		e.reports = append(e.reports, r)
+		base(r)
+	}
+	return e, nil
+}
+
+func (e *packetEngine) Plane() Plane                 { return Packet }
+func (e *packetEngine) Topology() *topology.Topology { return e.cl.Topo }
+
+func (e *packetEngine) InjectFailure(l topology.LinkID, rate float64) error {
+	return e.cl.InjectFailure(l, rate)
+}
+
+func (e *packetEngine) ClearFailure(l topology.LinkID) error {
+	return e.cl.ClearFailure(l)
+}
+
+func (e *packetEngine) Schedule(l topology.LinkID, s schedule.RateSchedule) error {
+	return e.cl.ScheduleFailure(l, s)
+}
+
+func (e *packetEngine) ClearAllFailures() {
+	for _, l := range e.cl.FailedLinks() {
+		e.cl.ClearFailure(l) // validated link; cannot fail
+	}
+}
+
+func (e *packetEngine) ClearSchedules() { e.cl.ClearSchedules() }
+func (e *packetEngine) EpochIndex() int { return e.cl.EpochIndex() }
+
+func (e *packetEngine) RunEpoch() *EpochResult {
+	e.reports = e.reports[:0]
+	e.cl.StartWorkload(e.workload, workloadSpread)
+	res := e.cl.RunEpoch()
+	fr := e.cl.LastEpoch()
+	reports := make([]vote.Report, len(e.reports))
+	copy(reports, e.reports)
+	return &EpochResult{
+		Epoch:       fr.Index,
+		FailedLinks: fr.FailedLinks,
+		Reports:     reports,
+		Ranking:     res.Ranking,
+		Detected:    res.Detected,
+		Verdicts:    res.Verdicts,
+		Truth:       fr.Truth,
+		TotalFlows:  fr.Flows,
+		FailedFlows: fr.FailedFlows,
+		TotalDrops:  fr.Drops,
+	}
+}

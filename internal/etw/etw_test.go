@@ -59,3 +59,46 @@ func TestNoSubscribers(t *testing.T) {
 	var bus Bus
 	bus.Publish(Event{Kind: ConnClosed}) // must not panic
 }
+
+// Subscribing mid-publish from another goroutine must not corrupt the
+// subscriber list (the race job runs this under -race).
+func TestSubscribeDuringPublish(t *testing.T) {
+	var bus Bus
+	var mu sync.Mutex
+	count := 0
+	bus.Subscribe(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			bus.Publish(Event{Kind: Retransmit})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			bus.Subscribe(func(Event) {})
+		}
+	}()
+	wg.Wait()
+	if count != 100 {
+		t.Fatalf("original subscriber saw %d events, want 100", count)
+	}
+}
+
+// Late subscribers see only future events — the bus has no replay.
+func TestLateSubscriberSeesNoHistory(t *testing.T) {
+	var bus Bus
+	bus.Publish(Event{Kind: Retransmit})
+	n := 0
+	bus.Subscribe(func(Event) { n++ })
+	bus.Publish(Event{Kind: Retransmit})
+	if n != 1 {
+		t.Fatalf("late subscriber saw %d events, want 1", n)
+	}
+}

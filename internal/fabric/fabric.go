@@ -15,6 +15,7 @@ import (
 
 	"vigil/internal/des"
 	"vigil/internal/ecmp"
+	"vigil/internal/schedule"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/wire"
@@ -55,11 +56,13 @@ type Net struct {
 	cfg        Config
 	topo       *topology.Topology
 	dropRate   []float64
+	baseRate   []float64 // per-link baseline (noise) rate a cleared link returns to
 	extraDelay []des.Time
 	lag        map[topology.LinkID][]float64
 	hostRx     []func(data []byte)
 	buckets    []tokenBucket
 	taps       []Tap
+	schedules  []ScheduledLink
 
 	// Counters, indexed by link and switch respectively.
 	LinkForwarded  []int64
@@ -84,6 +87,7 @@ func New(cfg Config) (*Net, error) {
 		cfg:            cfg,
 		topo:           cfg.Topo,
 		dropRate:       make([]float64, len(cfg.Topo.Links)),
+		baseRate:       make([]float64, len(cfg.Topo.Links)),
 		extraDelay:     make([]des.Time, len(cfg.Topo.Links)),
 		hostRx:         make([]func([]byte), len(cfg.Topo.Hosts)),
 		buckets:        make([]tokenBucket, len(cfg.Topo.Switches)),
@@ -99,11 +103,110 @@ func New(cfg Config) (*Net, error) {
 	return n, nil
 }
 
-// SetDropRate injects a drop probability on a directed link.
-func (n *Net) SetDropRate(l topology.LinkID, rate float64) { n.dropRate[l] = rate }
+// checkLink validates a link identifier against the topology.
+func (n *Net) checkLink(l topology.LinkID) error {
+	return n.topo.CheckLink(l)
+}
+
+// SetDropRate injects a drop probability on a directed link. The rate must
+// be a probability in [0, 1] and the link must exist in the topology.
+func (n *Net) SetDropRate(l topology.LinkID, rate float64) error {
+	if err := n.checkLink(l); err != nil {
+		return err
+	}
+	if !schedule.ValidRate(rate) {
+		return fmt.Errorf("fabric: drop rate %v outside [0, 1]", rate)
+	}
+	n.dropRate[l] = rate
+	return nil
+}
+
+// SetBaseRate sets a link's baseline (noise) drop rate — the rate the link
+// returns to when a failure is cleared or a schedule goes inactive — and
+// applies it immediately. Injected failures overwrite the applied rate but
+// never the baseline.
+func (n *Net) SetBaseRate(l topology.LinkID, rate float64) error {
+	if err := n.SetDropRate(l, rate); err != nil {
+		return err
+	}
+	n.baseRate[l] = rate
+	return nil
+}
+
+// ResetDropRate restores a link to its baseline (noise) rate.
+func (n *Net) ResetDropRate(l topology.LinkID) error {
+	if err := n.checkLink(l); err != nil {
+		return err
+	}
+	n.dropRate[l] = n.baseRate[l]
+	return nil
+}
 
 // DropRate returns a link's current drop probability.
 func (n *Net) DropRate(l topology.LinkID) float64 { return n.dropRate[l] }
+
+// ScheduledLink pairs a scheduled link with its script.
+type ScheduledLink struct {
+	Link     topology.LinkID
+	Schedule schedule.RateSchedule
+}
+
+// Schedule attaches an epoch-indexed rate schedule to a link: each call to
+// ApplySchedules re-injects the link at its scripted rate (active) or
+// restores its baseline rate (inactive). The known schedule shapes'
+// rates are validated here; custom shapes are validated as each epoch
+// applies them. If a link is scheduled twice the later registration wins
+// (it is applied last).
+func (n *Net) Schedule(l topology.LinkID, s schedule.RateSchedule) error {
+	if err := n.checkLink(l); err != nil {
+		return err
+	}
+	if s == nil {
+		return fmt.Errorf("fabric: nil RateSchedule")
+	}
+	if err := schedule.CheckRate(s); err != nil {
+		return err
+	}
+	n.schedules = append(n.schedules, ScheduledLink{Link: l, Schedule: s})
+	return nil
+}
+
+// Schedules returns the schedule registry in registration order. The caller
+// must not mutate it; the epoch-aware layer above (internal/cluster) reads
+// it to mirror scripted failures into detection ground truth.
+func (n *Net) Schedules() []ScheduledLink { return n.schedules }
+
+// ClearSchedules detaches every schedule and restores the scheduled links
+// to their baseline rates.
+func (n *Net) ClearSchedules() {
+	for _, ls := range n.schedules {
+		n.dropRate[ls.Link] = n.baseRate[ls.Link]
+	}
+	n.schedules = nil
+}
+
+// ApplySchedules settles every scheduled link's drop rate for the given
+// epoch. It must run before the epoch's traffic flies — the fabric has no
+// epoch clock of its own, so the layer above (internal/cluster) calls this
+// at the top of each epoch, mirroring netem's sequential settle-then-run
+// discipline. A schedule emitting a rate outside [0, 1] is a broken script
+// and is reported as an error before any rate is half-applied.
+func (n *Net) ApplySchedules(epoch int) error {
+	for _, ls := range n.schedules {
+		rate, active := ls.Schedule.RateAt(epoch)
+		if active && !schedule.ValidRate(rate) {
+			return fmt.Errorf("fabric: schedule on link %d returned drop rate %v outside [0, 1] for epoch %d", ls.Link, rate, epoch)
+		}
+	}
+	for _, ls := range n.schedules {
+		if rate, active := ls.Schedule.RateAt(epoch); active {
+			n.dropRate[ls.Link] = rate
+		} else {
+			n.dropRate[ls.Link] = n.baseRate[ls.Link]
+		}
+	}
+	return nil
+}
 
 // SetExtraDelay injects additional one-way latency on a directed link —
 // the "large queue buildups" and latency failures of §9.2 that 007's
@@ -116,16 +219,26 @@ func (n *Net) SetExtraDelay(l topology.LinkID, d des.Time) { n.extraDelay[l] = d
 // only the flows hashed onto it, while the L3 path — and therefore 007's
 // traceroute and votes — still names the one logical link, exactly the
 // paper's observation that "unless all the links in the aggregation group
-// fail, the L3 path is not affected".
-func (n *Net) SetLAG(l topology.LinkID, memberDrop []float64) {
+// fail, the L3 path is not affected". Every member rate must be a
+// probability; an empty member list dissolves the bundle.
+func (n *Net) SetLAG(l topology.LinkID, memberDrop []float64) error {
+	if err := n.checkLink(l); err != nil {
+		return err
+	}
+	for i, r := range memberDrop {
+		if !schedule.ValidRate(r) {
+			return fmt.Errorf("fabric: LAG member %d drop rate %v outside [0, 1]", i, r)
+		}
+	}
 	if n.lag == nil {
 		n.lag = make(map[topology.LinkID][]float64)
 	}
 	if len(memberDrop) == 0 {
 		delete(n.lag, l)
-		return
+		return nil
 	}
 	n.lag[l] = append([]float64(nil), memberDrop...)
+	return nil
 }
 
 // lagDropRate resolves the drop probability a specific packet sees on a

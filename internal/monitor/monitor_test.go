@@ -70,3 +70,65 @@ func TestAttachViaBus(t *testing.T) {
 		t.Fatal("bus subscription not working")
 	}
 }
+
+// The §9.2 latency extension: RTT samples over the threshold trigger path
+// discovery (once per flow per epoch), samples under it do nothing, and a
+// zero threshold disables the path entirely.
+func TestRTTThresholdTriggering(t *testing.T) {
+	var triggered []ecmp.FiveTuple
+	a := New(func(f ecmp.FiveTuple) { triggered = append(triggered, f) })
+	a.RTTThresholdMicros = 1000
+	f := flow(3000)
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: f, SRTTMicros: 999})
+	if len(triggered) != 0 || a.SlowFlows() != 0 {
+		t.Fatal("sub-threshold RTT triggered discovery")
+	}
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: f, SRTTMicros: 1500})
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: f, SRTTMicros: 2000})
+	if len(triggered) != 1 {
+		t.Fatalf("triggered %d times for one slow flow in one epoch", len(triggered))
+	}
+	if a.SlowFlows() != 1 {
+		t.Fatalf("SlowFlows = %d", a.SlowFlows())
+	}
+	a.NewEpoch()
+	if a.SlowFlows() != 0 {
+		t.Fatal("slow-flow set survived the epoch roll")
+	}
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: f, SRTTMicros: 1500})
+	if len(triggered) != 2 {
+		t.Fatal("slow flow did not re-trigger after the epoch roll")
+	}
+}
+
+// A retransmission and a slow-RTT sample on the same flow in the same
+// epoch share the one trigger budget — path discovery runs once.
+func TestRetxAndRTTShareTriggerBudget(t *testing.T) {
+	n := 0
+	a := New(func(ecmp.FiveTuple) { n++ })
+	a.RTTThresholdMicros = 1000
+	f := flow(3001)
+	a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: f})
+	a.OnEvent(etw.Event{Kind: etw.RTTSample, Flow: f, SRTTMicros: 5000})
+	if n != 1 {
+		t.Fatalf("triggered %d times, want 1", n)
+	}
+}
+
+// A nil trigger function is legal: the agent still counts.
+func TestNilTrigger(t *testing.T) {
+	a := New(nil)
+	f := flow(3002)
+	a.OnEvent(etw.Event{Kind: etw.Retransmit, Flow: f}) // must not panic
+	if a.Retx(f) != 1 {
+		t.Fatalf("Retx = %d", a.Retx(f))
+	}
+}
+
+// Retx on an unknown flow is zero, not a panic.
+func TestRetxUnknownFlow(t *testing.T) {
+	a := New(nil)
+	if got := a.Retx(flow(9999)); got != 0 {
+		t.Fatalf("Retx(unknown) = %d", got)
+	}
+}

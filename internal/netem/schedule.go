@@ -1,9 +1,9 @@
-// Epoch-indexed rate schedules: the dynamic-failure layer of the simulator.
+// Dynamic-failure layer of the flow-level simulator: epoch-indexed rate
+// schedules, shared with the packet plane through internal/schedule.
 //
-// A RateSchedule scripts one link's drop rate as a function of the epoch
-// index, which is what the scenario engine (internal/scenario) builds
-// time-varying conditions from — link flaps, intermittent low-rate drops,
-// rolling failure waves, congestion bursts. Schedules are applied
+// The shapes (ConstantRate, Window, Flap, Intermittent) live in package
+// schedule so both planes script dynamics from one vocabulary; the aliases
+// below keep netem's public surface unchanged. Schedules are applied
 // sequentially at the top of RunEpoch, before any parallel fan-out, so they
 // add nothing to the survival-gated hot path and cannot perturb the
 // cross-parallelism determinism contract: by the time workers start, the
@@ -12,82 +12,25 @@ package netem
 
 import (
 	"fmt"
-	"math"
 
-	"vigil/internal/stats"
+	"vigil/internal/schedule"
 	"vigil/internal/topology"
 )
 
-// RateSchedule gives a link's drop rate for each epoch.
-//
-// RateAt returns the rate the link drops at during the given epoch and
-// whether the link counts as *failed* (injected, part of detection ground
-// truth) that epoch. When active is false the rate is ignored and the link
-// runs at its noise rate. Implementations must be pure functions of the
-// epoch index: the scenario engine relies on RateAt(e) being identical
-// however many times and in whatever order it is called.
-type RateSchedule interface {
-	RateAt(epoch int) (rate float64, active bool)
-}
-
-// ConstantRate fails the link at Rate in every epoch — the static injection
-// of InjectFailure in schedule form.
-type ConstantRate struct {
-	Rate float64
-}
-
-// RateAt implements RateSchedule.
-func (c ConstantRate) RateAt(int) (float64, bool) { return c.Rate, true }
-
-// Window fails the link at Rate during epochs [Start, End) and leaves it
-// healthy outside. Staggered windows across links compose into rolling
-// failure waves.
-type Window struct {
-	Rate       float64
-	Start, End int
-}
-
-// RateAt implements RateSchedule.
-func (w Window) RateAt(epoch int) (float64, bool) {
-	return w.Rate, epoch >= w.Start && epoch < w.End
-}
-
-// Flap cycles the link through an on/off duty cycle: within each Period-long
-// cycle the link is failed at Rate for the first On epochs (shifted by
-// Phase). Flap{Rate, Period: 4, On: 2} is a 50% duty-cycle flap; a nonzero
-// Phase staggers several flapping links against each other.
-type Flap struct {
-	Rate              float64
-	Period, On, Phase int
-}
-
-// RateAt implements RateSchedule.
-func (f Flap) RateAt(epoch int) (float64, bool) {
-	if f.Period <= 0 || f.On <= 0 {
-		return f.Rate, false
-	}
-	p := (epoch + f.Phase) % f.Period
-	if p < 0 {
-		p += f.Period
-	}
-	return f.Rate, p < f.On
-}
-
-// Intermittent fails the link at Rate in a random Prob fraction of epochs.
-// Epoch membership is a counter-based draw on (Seed, epoch) — deterministic,
-// order-free and independent of every other RNG stream in the simulator, so
-// an intermittent link neither consumes simulator randomness nor changes any
-// other link's draws.
-type Intermittent struct {
-	Rate float64
-	Prob float64
-	Seed uint64
-}
-
-// RateAt implements RateSchedule.
-func (i Intermittent) RateAt(epoch int) (float64, bool) {
-	return i.Rate, stats.DeriveUniform(i.Seed, uint64(epoch)) < i.Prob
-}
+// Schedule shapes, re-exported from the shared plane-agnostic package so
+// existing netem call sites keep compiling unchanged.
+type (
+	// RateSchedule gives a link's drop rate for each epoch.
+	RateSchedule = schedule.RateSchedule
+	// ConstantRate fails the link at Rate in every epoch.
+	ConstantRate = schedule.ConstantRate
+	// Window fails the link at Rate during epochs [Start, End).
+	Window = schedule.Window
+	// Flap cycles the link through an on/off duty cycle.
+	Flap = schedule.Flap
+	// Intermittent fails the link in a random Prob fraction of epochs.
+	Intermittent = schedule.Intermittent
+)
 
 // linkSchedule pairs a scheduled link with its script.
 type linkSchedule struct {
@@ -139,7 +82,7 @@ func (s *Sim) applySchedules() {
 			if s.isFailed[ls.link] {
 				s.ClearFailure(ls.link)
 			}
-		case math.IsNaN(rate) || rate < 0 || rate > 1:
+		case !schedule.ValidRate(rate):
 			panic(fmt.Sprintf("netem: schedule on link %d returned drop rate %v outside [0, 1] for epoch %d", ls.link, rate, s.epochIdx))
 		case !s.isFailed[ls.link] || s.failures[ls.link] != rate:
 			s.InjectFailure(ls.link, rate)

@@ -1,7 +1,7 @@
 package scenario
 
 import (
-	"vigil/internal/netem"
+	"vigil/internal/schedule"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/traffic"
@@ -21,7 +21,7 @@ func init() {
 			l := pickLinks(rng, topo, 1, topology.L1Up)[0]
 			return []LinkSchedule{{
 				Link: l,
-				Schedule: netem.Intermittent{
+				Schedule: schedule.Intermittent{
 					Rate: rng.Uniform(0.002, 0.008),
 					Prob: 0.6,
 					Seed: rng.Uint64(),
@@ -38,8 +38,8 @@ func init() {
 			up := pickLinks(rng, topo, 1, topology.L1Up)[0]
 			down := pickLinks(rng, topo, 1, topology.L2Down)[0]
 			return []LinkSchedule{
-				{Link: up, Schedule: netem.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 4, On: 2}},
-				{Link: down, Schedule: netem.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 6, On: 3, Phase: 1}},
+				{Link: up, Schedule: schedule.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 4, On: 2}},
+				{Link: down, Schedule: schedule.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 6, On: 3, Phase: 1}},
 			}
 		},
 	})
@@ -54,7 +54,7 @@ func init() {
 			for i, l := range links {
 				out[i] = LinkSchedule{
 					Link:     l,
-					Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: i * 3, End: i*3 + 5},
+					Schedule: schedule.Window{Rate: rng.Uniform(0.004, 0.01), Start: i * 3, End: i*3 + 5},
 				}
 			}
 			return out
@@ -82,7 +82,7 @@ func init() {
 			for i := 0; i < n; i++ {
 				out[i] = LinkSchedule{
 					Link:     into[i],
-					Schedule: netem.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 5, On: 2, Phase: i},
+					Schedule: schedule.Flap{Rate: rng.Uniform(0.003, 0.008), Period: 5, On: 2, Phase: i},
 				}
 			}
 			return out
@@ -96,11 +96,11 @@ func init() {
 		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
 			links := pickLinks(rng, topo, 5, topology.L1Up, topology.L1Down, topology.L2Up, topology.L2Down)
 			return []LinkSchedule{
-				{Link: links[0], Schedule: netem.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
-				{Link: links[1], Schedule: netem.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
-				{Link: links[2], Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: 2, End: 9}},
-				{Link: links[3], Schedule: netem.Window{Rate: rng.Uniform(0.004, 0.01), Start: 6, End: 13}},
-				{Link: links[4], Schedule: netem.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 6, On: 2, Phase: 3}},
+				{Link: links[0], Schedule: schedule.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
+				{Link: links[1], Schedule: schedule.Intermittent{Rate: rng.Uniform(0.003, 0.008), Prob: 0.45, Seed: rng.Uint64()}},
+				{Link: links[2], Schedule: schedule.Window{Rate: rng.Uniform(0.004, 0.01), Start: 2, End: 9}},
+				{Link: links[3], Schedule: schedule.Window{Rate: rng.Uniform(0.004, 0.01), Start: 6, End: 13}},
+				{Link: links[4], Schedule: schedule.Flap{Rate: rng.Uniform(0.004, 0.01), Period: 6, On: 2, Phase: 3}},
 			}
 		},
 	})

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vigil/internal/engine"
 	"vigil/internal/par"
 	"vigil/internal/scenario"
 	"vigil/internal/stats"
@@ -26,6 +27,11 @@ import (
 type Envelope struct {
 	// Scenario names a registered scenario.
 	Scenario string
+	// Plane selects the substrate the scenario runs on (engine.Flow or
+	// engine.Packet); empty defers to the spec (and ultimately the flow
+	// plane). Packet-plane repetitions are independent single-threaded DES
+	// replicas fanned out across the worker pool.
+	Plane engine.Plane
 	// Seeds is how many independent repetitions to pool; 0 means 8.
 	Seeds int
 	// BaseSeed/SeedStride generate repetition i's seed as
@@ -84,6 +90,7 @@ type Check struct {
 // Report is one envelope evaluation.
 type Report struct {
 	Scenario string
+	Plane    engine.Plane
 	Seeds    int
 	Checks   []Check
 }
@@ -101,7 +108,7 @@ func (r *Report) Pass() bool {
 // String renders the report one check per line, for test failure messages.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s over %d seeds:\n", r.Scenario, r.Seeds)
+	fmt.Fprintf(&b, "scenario %s (%s plane) over %d seeds:\n", r.Scenario, r.Plane, r.Seeds)
 	for _, c := range r.Checks {
 		verdict := "PASS"
 		if !c.Pass {
@@ -141,6 +148,7 @@ func Evaluate(env Envelope, parallelism int) (*Report, error) {
 		res, err := scenario.Run(spec, scenario.Config{
 			Seed:        env.seedAt(i),
 			Epochs:      env.Epochs,
+			Plane:       env.Plane,
 			Parallelism: 1, // the seed sweep already saturates the pool
 		})
 		results[i] = res
@@ -159,7 +167,7 @@ func Evaluate(env Envelope, parallelism int) (*Report, error) {
 		quietClean += res.QuietClean
 		quiet += res.QuietEpochs
 	}
-	rep := &Report{Scenario: env.Scenario, Seeds: n}
+	rep := &Report{Scenario: env.Scenario, Plane: results[0].Plane, Seeds: n}
 	z := env.z()
 	if env.MinPrecision > 0 {
 		rep.Checks = append(rep.Checks, check("precision", tp, tp+fp, env.MinPrecision, z))
@@ -174,4 +182,72 @@ func Evaluate(env Envelope, parallelism int) (*Report, error) {
 		rep.Checks = append(rep.Checks, check("quiet-clean", quietClean, quiet, env.MinQuietClean, z))
 	}
 	return rep, nil
+}
+
+// CrossReport pairs one scenario's conformance reports on the two planes.
+type CrossReport struct {
+	Flow, Packet *Report
+}
+
+// Pass reports whether both planes hold their envelopes.
+func (cr *CrossReport) Pass() bool { return cr.Flow.Pass() && cr.Packet.Pass() }
+
+// String renders both planes' reports, for test failure messages.
+func (cr *CrossReport) String() string {
+	return cr.Flow.String() + cr.Packet.String()
+}
+
+// EvaluateCross runs the envelope's scenario on BOTH planes — the flow
+// plane as configured, the packet plane with packetEnv's overrides (plus
+// any unset field inherited from env) — and scores each against its
+// bounds. This is the cross-plane conformance check of the extended paper
+// (arXiv:1802.07222 §V): the same scripted regime, validated on the
+// flow-level simulator and the packet-level emulation through one
+// scenario code path, must hold comparable statistical envelopes.
+// packetEnv exists because the two substrates run at different operating
+// points (the packet plane's DES replicas are orders of magnitude more
+// expensive per epoch, so they pool fewer seeds, and ICMP rate limiting
+// plus TCP recovery genuinely shift some metrics); a zero packetEnv reuses
+// env's bounds verbatim.
+func EvaluateCross(env, packetEnv Envelope, parallelism int) (*CrossReport, error) {
+	env.Plane = engine.Flow
+	flowRep, err := Evaluate(env, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	p := packetEnv
+	p.Scenario = env.Scenario
+	p.Plane = engine.Packet
+	if p.Seeds == 0 {
+		p.Seeds = env.Seeds
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = env.BaseSeed
+	}
+	if p.SeedStride == 0 {
+		p.SeedStride = env.SeedStride
+	}
+	if p.Epochs == 0 {
+		p.Epochs = env.Epochs
+	}
+	if p.Z == 0 {
+		p.Z = env.Z
+	}
+	if p.MinPrecision == 0 {
+		p.MinPrecision = env.MinPrecision
+	}
+	if p.MinRecall == 0 {
+		p.MinRecall = env.MinRecall
+	}
+	if p.MinAccuracy == 0 {
+		p.MinAccuracy = env.MinAccuracy
+	}
+	if p.MinQuietClean == 0 {
+		p.MinQuietClean = env.MinQuietClean
+	}
+	packetRep, err := Evaluate(p, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &CrossReport{Flow: flowRep, Packet: packetRep}, nil
 }

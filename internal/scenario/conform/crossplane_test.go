@@ -1,0 +1,119 @@
+package conform
+
+import (
+	"testing"
+
+	"vigil/internal/engine"
+)
+
+// The cross-plane conformance suite: the shared dynamic scenarios must
+// hold their statistical envelopes on BOTH planes through one scenario
+// code path — the extended paper's claim (arXiv:1802.07222 §V) that 007's
+// hardest regimes hold in flow-level simulation and packet-level
+// emulation alike.
+//
+// The packet plane runs the flow plane's bounds verbatim: calibration
+// (6 seeds, full epochs) put its pooled points at precision 0.47/0.74,
+// recall 0.93/0.99 and accuracy 0.98/0.97 for intermittent-failure and
+// link-flap respectively — inside every flow bound's Wilson tolerance.
+// Two operating-point differences are genuine and documented here rather
+// than bound away:
+//
+//   - Noise drops are ~40x rarer per epoch (the packet plane moves ~10^5
+//     packets/epoch against the simulator's ~10^7 link crossings), so
+//     quiet epochs are usually clean: quiet-clean pools near 0.8 against
+//     the flow plane's ~0.13. The shared 0.02 bound holds trivially.
+//   - Recall and accuracy carry more per-seed variance: DES replicas run
+//     two orders of magnitude fewer flows, and ICMP rate limiting plus
+//     TCP recovery can leave a marginally-active epoch with no traced
+//     failure-crossing flow. The envelopes absorb this statistically —
+//     fewer pooled trials widen the Wilson interval — instead of
+//     lowering any bound.
+//
+// Packet repetitions pool 4 seeds over 12 epochs (an 11s DES budget per
+// scenario on one core); each repetition is an independent single-threaded
+// replica fanned out across the worker pool.
+var crossEnvelopes = []struct {
+	flow   Envelope
+	packet Envelope
+}{
+	{
+		flow: Envelope{
+			Scenario:      "intermittent-failure",
+			MinPrecision:  0.45,
+			MinRecall:     0.95,
+			MinAccuracy:   0.97,
+			MinQuietClean: 0.02,
+		},
+		packet: Envelope{Seeds: 4, Epochs: 12},
+	},
+	{
+		flow: Envelope{
+			Scenario:     "link-flap",
+			MinPrecision: 0.75,
+			MinRecall:    0.95,
+			MinAccuracy:  0.97,
+		},
+		packet: Envelope{Seeds: 4, Epochs: 12},
+	},
+}
+
+func TestCrossPlaneEnvelopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed statistical sweep over both planes; skipped in -short mode")
+	}
+	for _, ce := range crossEnvelopes {
+		ce := ce
+		t.Run(ce.flow.Scenario, func(t *testing.T) {
+			t.Parallel()
+			cr, err := EvaluateCross(ce.flow, ce.packet, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cr.Flow.Plane != engine.Flow || cr.Packet.Plane != engine.Packet {
+				t.Fatalf("planes mislabeled: %q / %q", cr.Flow.Plane, cr.Packet.Plane)
+			}
+			if len(cr.Flow.Checks) == 0 || len(cr.Packet.Checks) == 0 {
+				t.Fatal("cross evaluation produced no checks")
+			}
+			if len(cr.Flow.Checks) != len(cr.Packet.Checks) {
+				t.Fatalf("check sets diverged: %d flow vs %d packet", len(cr.Flow.Checks), len(cr.Packet.Checks))
+			}
+			if !cr.Pass() {
+				t.Fatalf("cross-plane conformance violated:\n%s", cr)
+			}
+			t.Log("\n" + cr.String())
+		})
+	}
+}
+
+func TestEvaluateCrossUnknownScenario(t *testing.T) {
+	if _, err := EvaluateCross(Envelope{Scenario: "no-such"}, Envelope{}, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// The packet envelope must inherit every unset field from the flow
+// envelope, so the suite compares like with like unless a difference is
+// explicit.
+func TestEvaluateCrossInheritsBounds(t *testing.T) {
+	env := Envelope{
+		Scenario:     "link-flap",
+		Seeds:        2,
+		Epochs:       3,
+		MinPrecision: 0.01,
+	}
+	cr, err := EvaluateCross(env, Envelope{Epochs: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Flow.Seeds != 2 || cr.Packet.Seeds != 2 {
+		t.Fatalf("seeds not inherited: %d / %d", cr.Flow.Seeds, cr.Packet.Seeds)
+	}
+	if len(cr.Packet.Checks) != 1 || cr.Packet.Checks[0].Metric != "precision" {
+		t.Fatalf("bounds not inherited: %+v", cr.Packet.Checks)
+	}
+	if cr.Packet.Checks[0].Bound != 0.01 {
+		t.Fatalf("bound not inherited: %v", cr.Packet.Checks[0].Bound)
+	}
+}

@@ -1,25 +1,27 @@
 // Package scenario is the dynamic failure-scenario engine: it scripts
 // time-varying network conditions — link flaps, intermittent low-rate
 // drops, rolling multi-link failure waves, congestion bursts under skewed
-// traffic, failure churn — on top of netem's epoch-indexed rate schedules,
-// runs the full 007 cycle over the scripted epochs and scores every epoch
-// against its own ground truth.
+// traffic, failure churn — on top of the shared epoch-indexed rate
+// schedules (internal/schedule), runs the full 007 cycle over the scripted
+// epochs and scores every epoch against its own ground truth.
 //
-// The paper's evaluation (§6.3, Figs. 8–9) and the extended version
-// (arXiv:1802.07222) judge 007 exactly on these regimes; a static one-epoch
-// drop-rate sweep cannot reproduce them. A Spec is a deterministic function
-// of (seed, topology): running the same named scenario with the same seed
-// yields bit-identical results at every Parallelism setting, inheriting the
-// epoch engine's determinism contract (DESIGN.md).
+// Scenarios are plane-agnostic: the same Spec runs unmodified on the
+// flow-level simulation plane (§6) or the packet-level cluster emulation
+// (§7/§8) through one plane-agnostic epoch engine (internal/engine) —
+// matching the extended paper (arXiv:1802.07222 §V), which validates the
+// hardest dynamic regimes on both substrates. A Spec is a deterministic
+// function of (seed, topology): running the same named scenario with the
+// same seed yields bit-identical results at every Parallelism setting on
+// the flow plane, and across repeated runs and replica fan-out orderings
+// on the packet plane (DESIGN.md).
 package scenario
 
 import (
 	"fmt"
-	"math"
 
-	"vigil/internal/analysis"
+	"vigil/internal/engine"
 	"vigil/internal/metrics"
-	"vigil/internal/netem"
+	"vigil/internal/schedule"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/traffic"
@@ -29,7 +31,7 @@ import (
 // LinkSchedule scripts one link's time-varying drop rate.
 type LinkSchedule struct {
 	Link     topology.LinkID
-	Schedule netem.RateSchedule
+	Schedule schedule.RateSchedule
 }
 
 // Spec is a named, reusable scenario: a topology, a workload and a script
@@ -40,11 +42,15 @@ type LinkSchedule struct {
 type Spec struct {
 	Name  string
 	Title string
+	// Plane is the default substrate the scenario runs on when Config does
+	// not choose one; empty means the flow plane.
+	Plane engine.Plane
 	// Epochs is the scripted duration; Config.Epochs can override it.
 	Epochs int
-	// Topo sizes the simulated Clos; the zero value means the quick-scale
-	// evaluation topology (2 pods, 8 ToRs/pod — fast enough for the
-	// conformance suite to sweep seeds inside go test).
+	// Topo sizes the Clos; the zero value means the plane's quick-scale
+	// evaluation topology (QuickTopo on the flow plane, PacketQuickTopo on
+	// the packet plane — both fast enough for the conformance suite to
+	// sweep seeds inside go test).
 	Topo topology.Config
 	// NoiseLo/NoiseHi bound good-link noise rates; both zero means the
 	// paper's (0, 1e-6).
@@ -61,10 +67,17 @@ type Spec struct {
 	Detect vote.DetectOptions
 }
 
-// QuickTopo is the default scenario topology: the quick-scale Clos the
-// experiment harness uses for smoke tests, small enough that a multi-seed
-// conformance sweep fits in a test run.
+// QuickTopo is the default flow-plane scenario topology: the quick-scale
+// Clos the experiment harness uses for smoke tests, small enough that a
+// multi-seed conformance sweep fits in a test run.
 var QuickTopo = topology.Config{Pods: 2, ToRsPerPod: 8, T1PerPod: 8, T2: 4, HostsPerToR: 8}
+
+// PacketQuickTopo is the default packet-plane scenario topology: a two-pod
+// Clos with every link class present (so every scenario's link picks
+// resolve), sized so that a DES replica — which emulates each packet, ACK,
+// probe and ICMP reply individually — runs a scripted multi-epoch scenario
+// in well under a second.
+var PacketQuickTopo = topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 2}
 
 // Config parametrizes one scenario run.
 type Config struct {
@@ -72,8 +85,12 @@ type Config struct {
 	Seed uint64
 	// Epochs overrides Spec.Epochs when positive.
 	Epochs int
-	// Parallelism is the epoch engine worker count; 0 means all cores.
-	// Results are bit-identical at every setting.
+	// Plane overrides the spec's substrate: engine.Flow or engine.Packet.
+	// Empty defers to Spec.Plane (and ultimately the flow plane).
+	Plane engine.Plane
+	// Parallelism is the flow plane's epoch worker count; 0 means all
+	// cores. Results are bit-identical at every setting. The packet plane
+	// ignores it (replicas parallelize across seeds, not within).
 	Parallelism int
 }
 
@@ -108,7 +125,9 @@ type EpochScore struct {
 // conformance suite's raw material: summing them across seeds gives the
 // trials behind each statistical envelope.
 type Result struct {
-	Name   string
+	Name string
+	// Plane records the substrate the run executed on.
+	Plane  engine.Plane
 	Epochs []EpochScore
 
 	// ActiveEpochs counts epochs with at least one scripted failure live;
@@ -138,8 +157,20 @@ func ratio(num, den int) float64 {
 }
 
 // Run executes one scenario: build the topology, derive the workload and
-// script from the seed, then simulate, analyze and score Epochs rounds.
+// script from the seed, construct the epoch engine for the chosen plane,
+// then drive, analyze and score Epochs rounds — one code path for both the
+// flow-level simulator and the packet-level cluster emulation.
 func Run(spec Spec, cfg Config) (*Result, error) {
+	plane := cfg.Plane
+	if plane == "" {
+		plane = spec.Plane
+	}
+	if plane == "" {
+		plane = engine.Flow
+	}
+	if !plane.Valid() {
+		return nil, fmt.Errorf("scenario %q: unknown plane %q", spec.Name, plane)
+	}
 	epochs := spec.Epochs
 	if cfg.Epochs > 0 {
 		epochs = cfg.Epochs
@@ -150,27 +181,28 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 	topoCfg := spec.Topo
 	if topoCfg == (topology.Config{}) {
 		topoCfg = QuickTopo
+		if plane == engine.Packet {
+			topoCfg = PacketQuickTopo
+		}
 	}
 	topo, err := topology.New(topoCfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
-	w := traffic.DefaultWorkload()
+	var w traffic.Workload // zero Pattern: the engine's plane default
 	if spec.Workload != nil {
 		w = spec.Workload(stats.DeriveRNG(cfg.Seed, specDomain), topo)
 	}
-	noiseHi := spec.NoiseHi
-	if noiseHi == 0 && spec.NoiseLo == 0 {
-		noiseHi = 1e-6
-	}
-	sim, err := netem.New(netem.Config{
+	eng, err := engine.New(engine.Config{
+		Plane:         plane,
 		Topo:          topo,
 		Workload:      w,
 		NoiseLo:       spec.NoiseLo,
-		NoiseHi:       noiseHi,
+		NoiseHi:       spec.NoiseHi,
 		TracerouteCap: spec.TracerouteCap,
 		Seed:          cfg.Seed,
 		Parallelism:   cfg.Parallelism,
+		Detect:        spec.Detect,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
@@ -189,37 +221,30 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 		if ls.Link < 0 || int(ls.Link) >= len(topo.Links) {
 			return nil, fmt.Errorf("scenario %q: schedule on unknown link %d", spec.Name, ls.Link)
 		}
-		for e := 0; e < epochs; e++ {
-			rate, active := ls.Schedule.RateAt(e)
-			if active && (math.IsNaN(rate) || rate < 0 || rate > 1) {
-				return nil, fmt.Errorf("scenario %q: link %d epoch %d: drop rate %v outside [0,1]", spec.Name, ls.Link, e, rate)
-			}
+		if err := schedule.Probe(ls.Schedule, epochs); err != nil {
+			return nil, fmt.Errorf("scenario %q: link %d: %w", spec.Name, ls.Link, err)
 		}
-		sim.Schedule(ls.Link, ls.Schedule)
+		if err := eng.Schedule(ls.Link, ls.Schedule); err != nil {
+			return nil, fmt.Errorf("scenario %q: link %d: %w", spec.Name, ls.Link, err)
+		}
 	}
 
-	detect := spec.Detect
-	if detect.ThresholdFrac == 0 {
-		detect.ThresholdFrac = 0.01
-	}
-
-	res := &Result{Name: spec.Name, Epochs: make([]EpochScore, 0, epochs)}
+	res := &Result{Name: spec.Name, Plane: plane, Epochs: make([]EpochScore, 0, epochs)}
 	for e := 0; e < epochs; e++ {
-		ep := sim.RunEpoch()
-		an := analysis.Analyze(ep.Reports, analysis.Options{Detect: detect, Parallelism: cfg.Parallelism})
-		score := metrics.ScoreVerdicts(an.Verdicts, ep.Truth())
-		det := metrics.ScoreDetection(an.Detected, ep.FailedLinks)
-		active := make([]topology.LinkID, len(ep.FailedLinks))
-		copy(active, ep.FailedLinks)
+		er := eng.RunEpoch()
+		score := metrics.ScoreVerdicts(er.Verdicts, er.Truth)
+		det := metrics.ScoreDetection(er.Detected, er.FailedLinks)
+		active := make([]topology.LinkID, len(er.FailedLinks))
+		copy(active, er.FailedLinks)
 		es := EpochScore{
 			Epoch:       e,
 			ActiveLinks: active,
-			Detected:    an.Detected,
+			Detected:    er.Detected,
 			Detection:   det,
 			Accuracy:    score.Accuracy(),
 			FlowsScored: score.Considered,
-			FailedFlows: len(ep.Failed),
-			TotalDrops:  ep.TotalDrops,
+			FailedFlows: er.FailedFlows,
+			TotalDrops:  er.TotalDrops,
 		}
 		res.Epochs = append(res.Epochs, es)
 		if len(active) > 0 {
@@ -229,7 +254,7 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 			res.FalseNeg += det.FalseNeg
 		} else {
 			res.QuietEpochs++
-			if len(an.Detected) == 0 {
+			if len(er.Detected) == 0 {
 				res.QuietClean++
 			}
 		}

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
-	"vigil/internal/netem"
+	"vigil/internal/engine"
+	"vigil/internal/par"
+	"vigil/internal/schedule"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 )
@@ -118,6 +120,86 @@ func TestScenarioBitIdenticalAcrossParallelism(t *testing.T) {
 	}
 }
 
+// Acceptance criterion of the plane-agnostic engine: every named scenario
+// runs unmodified on the packet plane through the same Run code path, with
+// active epochs and consistent aggregates.
+func TestAllScenariosRunOnPacketPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-plane DES sweep; skipped in -short mode")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(spec, Config{Seed: 7, Epochs: 4, Plane: engine.Packet})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Plane != engine.Packet {
+				t.Fatalf("result plane = %q", res.Plane)
+			}
+			if len(res.Epochs) != 4 {
+				t.Fatalf("got %d epoch scores, want 4", len(res.Epochs))
+			}
+			if res.ActiveEpochs+res.QuietEpochs != 4 {
+				t.Fatalf("epoch counts inconsistent: %+v", res)
+			}
+			if res.ActiveEpochs == 0 {
+				t.Fatal("no active epochs on the packet plane")
+			}
+			drops := 0
+			for _, es := range res.Epochs {
+				drops += es.TotalDrops
+			}
+			if drops == 0 {
+				t.Fatal("packet plane produced no drops")
+			}
+		})
+	}
+}
+
+// The packet-plane determinism contract, mirror of
+// TestScenarioBitIdenticalAcrossParallelism: the same seed and schedules
+// must give bit-identical results across repeated runs AND across replica
+// fan-out orderings — replicas run concurrently through the par pool at
+// different worker counts must land exactly what sequential runs land.
+func TestPacketScenarioBitIdenticalAcrossReplicaFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-plane DES sweep; skipped in -short mode")
+	}
+	spec, ok := Find("link-flap")
+	if !ok {
+		t.Fatal("link-flap not registered")
+	}
+	const replicas = 3
+	sweep := func(workers int) []*Result {
+		out := make([]*Result, replicas)
+		err := par.ForEachErr(replicas, workers, func(i int) error {
+			res, err := Run(spec, Config{Seed: 100 + uint64(i), Epochs: 5, Plane: engine.Packet})
+			out[i] = res
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := sweep(1)
+	drops := 0
+	for _, res := range want {
+		for _, es := range res.Epochs {
+			drops += es.TotalDrops
+		}
+	}
+	if drops == 0 {
+		t.Fatal("packet replicas produced no drops to compare")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := sweep(workers); !reflect.DeepEqual(want, got) {
+			t.Fatalf("replica fan-out over %d workers changed packet-plane results", workers)
+		}
+	}
+}
+
 // Same seed twice: identical result. Different seed: different script.
 func TestScenarioSeedDiscipline(t *testing.T) {
 	spec, _ := Find("link-flap")
@@ -174,7 +256,7 @@ func TestRunErrors(t *testing.T) {
 		Name:   "t",
 		Epochs: 2,
 		Script: func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
-			return []LinkSchedule{{Link: topo.LinksOfClass(topology.L1Up)[0], Schedule: netem.ConstantRate{Rate: 0.01}}}
+			return []LinkSchedule{{Link: topo.LinksOfClass(topology.L1Up)[0], Schedule: schedule.ConstantRate{Rate: 0.01}}}
 		},
 	}
 	cases := []struct {
@@ -193,21 +275,21 @@ func TestRunErrors(t *testing.T) {
 		{"unknown link", func() Spec {
 			s := good
 			s.Script = func(*stats.RNG, *topology.Topology) []LinkSchedule {
-				return []LinkSchedule{{Link: 1 << 30, Schedule: netem.ConstantRate{Rate: 0.01}}}
+				return []LinkSchedule{{Link: 1 << 30, Schedule: schedule.ConstantRate{Rate: 0.01}}}
 			}
 			return s
 		}(), Config{}},
 		{"rate above 1", func() Spec {
 			s := good
 			s.Script = func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
-				return []LinkSchedule{{Link: 0, Schedule: netem.ConstantRate{Rate: 1.5}}}
+				return []LinkSchedule{{Link: 0, Schedule: schedule.ConstantRate{Rate: 1.5}}}
 			}
 			return s
 		}(), Config{}},
 		{"negative rate", func() Spec {
 			s := good
 			s.Script = func(rng *stats.RNG, topo *topology.Topology) []LinkSchedule {
-				return []LinkSchedule{{Link: 0, Schedule: netem.ConstantRate{Rate: -0.1}}}
+				return []LinkSchedule{{Link: 0, Schedule: schedule.ConstantRate{Rate: -0.1}}}
 			}
 			return s
 		}(), Config{}},

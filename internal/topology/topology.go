@@ -392,6 +392,15 @@ func (t *Topology) LinkName(id LinkID) string {
 	return t.NodeName(l.From) + "→" + t.NodeName(l.To)
 }
 
+// CheckLink validates a link identifier against the topology — the one
+// bounds check both planes' validated injection paths share.
+func (t *Topology) CheckLink(id LinkID) error {
+	if id < 0 || int(id) >= len(t.Links) {
+		return fmt.Errorf("topology: link %d not in topology (%d links)", id, len(t.Links))
+	}
+	return nil
+}
+
 // LinkBetween returns the directed link from one node to another, if the
 // two are adjacent. Path discovery uses it to turn a traceroute's switch
 // sequence back into link IDs (router aliasing is a non-problem in a

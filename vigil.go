@@ -24,17 +24,16 @@ package vigil
 
 import (
 	"fmt"
-	"math"
 
-	"vigil/internal/analysis"
 	"vigil/internal/cluster"
 	"vigil/internal/des"
 	"vigil/internal/ecmp"
+	"vigil/internal/engine"
 	"vigil/internal/experiments"
 	"vigil/internal/metrics"
-	"vigil/internal/netem"
 	"vigil/internal/report"
 	"vigil/internal/scenario"
+	"vigil/internal/schedule"
 	"vigil/internal/slb"
 	"vigil/internal/theory"
 	"vigil/internal/topology"
@@ -91,21 +90,32 @@ type (
 	// Experiment is a registered table/figure runner.
 	Experiment = experiments.Runner
 	// RateSchedule scripts a link's drop rate per epoch (dynamic failures).
-	RateSchedule = netem.RateSchedule
+	// The shapes below are shared by both planes (internal/schedule).
+	RateSchedule = schedule.RateSchedule
 	// ConstantRate fails a link at a fixed rate in every epoch.
-	ConstantRate = netem.ConstantRate
+	ConstantRate = schedule.ConstantRate
 	// Window fails a link during an epoch interval [Start, End).
-	Window = netem.Window
+	Window = schedule.Window
 	// Flap cycles a link through an on/off duty cycle.
-	Flap = netem.Flap
+	Flap = schedule.Flap
 	// Intermittent fails a link in a random fraction of epochs.
-	Intermittent = netem.Intermittent
+	Intermittent = schedule.Intermittent
+	// Plane selects an evaluation substrate for scenarios (flow or packet).
+	Plane = engine.Plane
 	// ScenarioConfig parametrizes one dynamic-scenario run.
 	ScenarioConfig = scenario.Config
 	// ScenarioResult is a scored multi-epoch scenario run.
 	ScenarioResult = scenario.Result
 	// ScenarioEpoch is one epoch's score within a scenario run.
 	ScenarioEpoch = scenario.EpochScore
+)
+
+// Evaluation planes for RunScenario: the flow-level simulator (§6) and the
+// packet-level cluster emulation (§7/§8). The five named scenarios run
+// unmodified on either.
+const (
+	OnFlowPlane   = engine.Flow
+	OnPacketPlane = engine.Packet
 )
 
 // Link classes, re-exported.
@@ -191,11 +201,11 @@ type SimConfig struct {
 
 // Simulation is the flow-level plane: inject failures, run 30-second
 // epochs, get rankings, detections and per-flow verdicts scored against
-// ground truth.
+// ground truth. It is a thin wrapper over the plane-agnostic epoch engine
+// (internal/engine) pinned to the flow plane; RunScenario reaches the same
+// engine on either plane.
 type Simulation struct {
-	sim         *netem.Sim
-	detect      DetectOptions
-	parallelism int
+	eng engine.Engine
 }
 
 // NewSimulation builds a Simulation.
@@ -208,47 +218,30 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := cfg.Workload
-	if w.Pattern == nil {
-		w = traffic.DefaultWorkload()
-	}
-	noiseHi := cfg.NoiseHi
-	if noiseHi == 0 && cfg.NoiseLo == 0 {
-		noiseHi = 1e-6
-	}
-	sim, err := netem.New(netem.Config{
+	eng, err := engine.New(engine.Config{
+		Plane:         engine.Flow,
 		Topo:          topo,
-		Workload:      w,
+		Workload:      cfg.Workload,
 		NoiseLo:       cfg.NoiseLo,
-		NoiseHi:       noiseHi,
+		NoiseHi:       cfg.NoiseHi,
 		TracerouteCap: cfg.TracerouteCap,
 		Seed:          cfg.Seed,
 		Parallelism:   cfg.Parallelism,
+		Detect:        cfg.Detect,
 	})
 	if err != nil {
 		return nil, err
 	}
-	detect := cfg.Detect
-	if detect.ThresholdFrac == 0 {
-		detect.ThresholdFrac = 0.01
-	}
-	return &Simulation{sim: sim, detect: detect, parallelism: cfg.Parallelism}, nil
+	return &Simulation{eng: eng}, nil
 }
 
 // Topology returns the simulated network.
-func (s *Simulation) Topology() *Topology { return s.sim.Topology() }
+func (s *Simulation) Topology() *Topology { return s.eng.Topology() }
 
 // InjectFailure sets a directed link's drop rate. The rate must be a
 // probability in [0, 1]; the link must exist in the simulated topology.
 func (s *Simulation) InjectFailure(l LinkID, rate float64) error {
-	if err := s.checkLink(l); err != nil {
-		return err
-	}
-	if math.IsNaN(rate) || rate < 0 || rate > 1 {
-		return fmt.Errorf("vigil: drop rate %v outside [0, 1]", rate)
-	}
-	s.sim.InjectFailure(l, rate)
-	return nil
+	return s.eng.InjectFailure(l, rate)
 }
 
 // ScheduleFailure attaches an epoch-indexed rate schedule to a link: from
@@ -256,62 +249,22 @@ func (s *Simulation) InjectFailure(l LinkID, rate float64) error {
 // active, restored to its noise rate when not), overriding manual
 // injections on the same link. Use the Flap, Window, Intermittent and
 // ConstantRate schedules — whose rates are validated here — or any custom
-// RateSchedule, whose rates the simulator checks as each epoch applies
-// them (an out-of-range rate then panics rather than silently corrupting
-// the run).
+// RateSchedule, whose rates the engine checks as each epoch applies them
+// (an out-of-range rate then panics rather than silently corrupting the
+// run).
 func (s *Simulation) ScheduleFailure(l LinkID, sched RateSchedule) error {
-	if err := s.checkLink(l); err != nil {
-		return err
-	}
-	if sched == nil {
-		return fmt.Errorf("vigil: nil RateSchedule")
-	}
-	if err := checkScheduleRate(sched); err != nil {
-		return err
-	}
-	s.sim.Schedule(l, sched)
-	return nil
-}
-
-// checkScheduleRate validates the rate of the built-in schedule shapes up
-// front. Custom RateSchedule implementations are opaque here; the
-// simulator validates their rates epoch by epoch.
-func checkScheduleRate(sched RateSchedule) error {
-	var rate float64
-	switch sc := sched.(type) {
-	case ConstantRate:
-		rate = sc.Rate
-	case Window:
-		rate = sc.Rate
-	case Flap:
-		rate = sc.Rate
-	case Intermittent:
-		rate = sc.Rate
-	default:
-		return nil
-	}
-	if math.IsNaN(rate) || rate < 0 || rate > 1 {
-		return fmt.Errorf("vigil: scheduled drop rate %v outside [0, 1]", rate)
-	}
-	return nil
+	return s.eng.Schedule(l, sched)
 }
 
 // ClearSchedules detaches every rate schedule and restores the scheduled
 // links to their noise rates.
-func (s *Simulation) ClearSchedules() { s.sim.ClearSchedules() }
-
-func (s *Simulation) checkLink(l LinkID) error {
-	if l < 0 || int(l) >= len(s.sim.Topology().Links) {
-		return fmt.Errorf("vigil: link %d not in topology (%d links)", l, len(s.sim.Topology().Links))
-	}
-	return nil
-}
+func (s *Simulation) ClearSchedules() { s.eng.ClearSchedules() }
 
 // ClearFailure restores a link to its noise rate.
-func (s *Simulation) ClearFailure(l LinkID) { s.sim.ClearFailure(l) }
+func (s *Simulation) ClearFailure(l LinkID) { s.eng.ClearFailure(l) }
 
 // ClearAllFailures restores every link.
-func (s *Simulation) ClearAllFailures() { s.sim.ClearAllFailures() }
+func (s *Simulation) ClearAllFailures() { s.eng.ClearAllFailures() }
 
 // EpochReport is the outcome of one simulated epoch: 007's outputs plus
 // ground-truth scores.
@@ -341,25 +294,24 @@ type EpochReport struct {
 // — simulate, tally, detect, classify — fans out over SimConfig.Parallelism
 // workers with deterministic (worker-count-independent) results.
 func (s *Simulation) RunEpoch() *EpochReport {
-	ep := s.sim.RunEpoch()
-	res := analysis.Analyze(ep.Reports, analysis.Options{Detect: s.detect, Parallelism: s.parallelism})
-	score := metrics.ScoreVerdicts(res.Verdicts, ep.Truth())
-	// The epoch's FailedLinks shares the simulator's cached snapshot; hand
-	// the public caller an owned copy so mutating the report cannot corrupt
+	er := s.eng.RunEpoch()
+	score := metrics.ScoreVerdicts(er.Verdicts, er.Truth)
+	// The epoch's FailedLinks shares the engine's cached snapshot; hand the
+	// public caller an owned copy so mutating the report cannot corrupt
 	// later epochs.
-	failed := make([]LinkID, len(ep.FailedLinks))
-	copy(failed, ep.FailedLinks)
+	failed := make([]LinkID, len(er.FailedLinks))
+	copy(failed, er.FailedLinks)
 	return &EpochReport{
-		Ranking:     res.Ranking,
-		Detected:    res.Detected,
-		Verdicts:    res.Verdicts,
+		Ranking:     er.Ranking,
+		Detected:    er.Detected,
+		Verdicts:    er.Verdicts,
 		FailedLinks: failed,
 		Accuracy:    score.Accuracy(),
 		FlowsScored: score.Considered,
-		Detection:   metrics.ScoreDetection(res.Detected, ep.FailedLinks),
-		TotalFlows:  ep.TotalFlows,
-		FailedFlows: len(ep.Failed),
-		TotalDrops:  ep.TotalDrops,
+		Detection:   metrics.ScoreDetection(er.Detected, er.FailedLinks),
+		TotalFlows:  er.TotalFlows,
+		FailedFlows: er.FailedFlows,
+		TotalDrops:  er.TotalDrops,
 	}
 }
 
@@ -406,8 +358,11 @@ func Scenarios() []ScenarioInfo {
 
 // RunScenario runs one named dynamic scenario: a scripted multi-epoch
 // sequence of time-varying link conditions, each epoch analyzed by 007 and
-// scored against that epoch's ground truth. Results are deterministic for
-// a fixed ScenarioConfig.Seed and bit-identical at every Parallelism.
+// scored against that epoch's ground truth. ScenarioConfig.Plane selects
+// the substrate — OnFlowPlane (default, the §6 simulator) or OnPacketPlane
+// (the §7/§8 cluster emulation) — through one plane-agnostic code path.
+// Results are deterministic for a fixed ScenarioConfig.Seed; flow-plane
+// runs are additionally bit-identical at every Parallelism.
 func RunScenario(name string, cfg ScenarioConfig) (*ScenarioResult, error) {
 	spec, ok := scenario.Find(name)
 	if !ok {

@@ -305,6 +305,81 @@ func TestScenarioFacade(t *testing.T) {
 	}
 }
 
+// The plane-agnostic facade: the same named scenario runs on the packet
+// plane through RunScenario with OnPacketPlane.
+func TestRunScenarioOnPacketPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-plane DES run; skipped in -short mode")
+	}
+	res, err := vigil.RunScenario("link-flap", vigil.ScenarioConfig{
+		Seed:   5,
+		Epochs: 4,
+		Plane:  vigil.OnPacketPlane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plane != vigil.OnPacketPlane {
+		t.Fatalf("result plane = %q", res.Plane)
+	}
+	if len(res.Epochs) != 4 || res.ActiveEpochs == 0 {
+		t.Fatalf("packet scenario produced no scored activity: %+v", res)
+	}
+	if _, err := vigil.RunScenario("link-flap", vigil.ScenarioConfig{Plane: "quantum"}); err == nil {
+		t.Fatal("unknown plane accepted")
+	}
+}
+
+// Emulation.ScheduleFailure: epoch-settled dynamics on the packet plane
+// through the public facade, with the same validation as the simulator.
+func TestEmulationScheduleFailureFacade(t *testing.T) {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := topo.LinksOfClass(vigil.L1Down)[2]
+	if err := em.ScheduleFailure(-1, vigil.ConstantRate{Rate: 0.1}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if err := em.ScheduleFailure(bad, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	if err := em.ScheduleFailure(bad, vigil.Flap{Rate: 1.5, Period: 2, On: 1}); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if err := em.ScheduleFailure(bad, vigil.Window{Rate: 0.08, Start: 1, End: 2}); err != nil {
+		t.Fatal(err)
+	}
+	workload := vigil.Workload{
+		Pattern:        vigil.UniformTraffic(),
+		ConnsPerHost:   vigil.IntRange{Lo: 4, Hi: 4},
+		PacketsPerFlow: vigil.IntRange{Lo: 60, Hi: 60},
+	}
+	for e := 0; e < 3; e++ {
+		em.StartWorkload(workload, 10*vigil.Second)
+		res := em.RunEpoch()
+		fr := em.LastEpoch()
+		if e == 1 {
+			if len(fr.FailedLinks) != 1 || fr.FailedLinks[0] != bad {
+				t.Fatalf("epoch %d: FailedLinks = %v, want [%v]", e, fr.FailedLinks, bad)
+			}
+			if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
+				t.Fatalf("epoch %d: scheduled link not localized", e)
+			}
+		} else if len(fr.FailedLinks) != 0 {
+			t.Fatalf("epoch %d: FailedLinks = %v, want none", e, fr.FailedLinks)
+		}
+	}
+	// Manual injection validation through the facade.
+	if err := em.InjectFailure(bad, 1.5); err == nil {
+		t.Fatal("out-of-range manual rate accepted")
+	}
+}
+
 // Custom dynamics through the facade: a scheduled link must raise drops
 // only during its scripted epochs.
 func TestScheduleFailureFacade(t *testing.T) {
