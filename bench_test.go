@@ -130,6 +130,40 @@ func BenchmarkClusterEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSteadyState is the packet plane's zero-allocation
+// contract: the same §7-scale epoch as BenchmarkClusterEpoch but with no
+// injected failure and ephemeral flow recycling — the always-on monitoring
+// regime. After warmup every pool (packet buffers, scheduler lanes,
+// connections, flow records, tuple maps) is hot, so a whole epoch of
+// per-packet emulation settles at a few dozen allocations.
+func BenchmarkClusterSteadyState(b *testing.B) {
+	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 1, EphemeralFlows: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload := vigil.Workload{
+		Pattern:        vigil.UniformTraffic(),
+		ConnsPerHost:   vigil.IntRange{Lo: 10, Hi: 10},
+		PacketsPerFlow: vigil.IntRange{Lo: 75, Hi: 150},
+	}
+	// Warm the pools.
+	em.StartWorkload(workload, 20*vigil.Second)
+	em.RunEpoch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.StartWorkload(workload, 20*vigil.Second)
+		res := em.RunEpoch()
+		if res == nil || em.LastEpoch().Flows == 0 {
+			b.Fatal("no flows in cluster epoch")
+		}
+	}
+}
+
 func benchEpochAtParallelism(b *testing.B, parallelism int) {
 	b.Helper()
 	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1, Parallelism: parallelism})

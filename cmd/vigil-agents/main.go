@@ -12,10 +12,15 @@ import (
 
 	"vigil"
 	"vigil/internal/cluster"
+	"vigil/internal/prof"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/vote"
 )
+
+// profiler is shared with fail so error exits still flush a running CPU
+// profile.
+var profiler *prof.Profiler
 
 func main() {
 	epochs := flag.Int("epochs", 3, "epochs to run")
@@ -24,7 +29,17 @@ func main() {
 	conns := flag.Int("conns", 5, "connections per host per epoch")
 	seed := flag.Uint64("seed", 1, "random seed")
 	listen := flag.String("listen", "127.0.0.1:0", "collector listen address")
+	profiler = prof.Register()
 	flag.Parse()
+
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vigil-agents:", err)
+		}
+	}()
 
 	em, err := vigil.NewEmulation(vigil.EmulationConfig{
 		Topo: must(vigil.NewTopology(vigil.TestClusterTopology)), Seed: *seed,
@@ -101,6 +116,9 @@ func must(t *vigil.Topology, err error) *vigil.Topology {
 }
 
 func fail(err error) {
+	if profiler != nil {
+		profiler.Stop() // flush any running CPU profile before exiting
+	}
 	fmt.Fprintln(os.Stderr, "vigil-agents:", err)
 	os.Exit(1)
 }

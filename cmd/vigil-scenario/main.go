@@ -25,7 +25,20 @@ import (
 	"strings"
 
 	"vigil"
+	"vigil/internal/prof"
 )
+
+// profiler is shared with fail so error exits still flush a running CPU
+// profile.
+var profiler *prof.Profiler
+
+func fail(err error) {
+	if profiler != nil {
+		profiler.Stop()
+	}
+	fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
+	os.Exit(1)
+}
 
 func main() {
 	name := flag.String("name", "all", "scenario name, or 'all'")
@@ -35,7 +48,12 @@ func main() {
 	plane := flag.String("plane", "flow", "evaluation plane: flow, packet, or both")
 	parallel := flag.Int("par", 0, "epoch engine worker count on the flow plane (0 = all cores); results are identical at any setting")
 	timeline := flag.Bool("timeline", true, "print the per-epoch timeline table")
+	profiler = prof.Register()
 	flag.Parse()
+
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
 
 	var planes []vigil.Plane
 	switch *plane {
@@ -46,6 +64,7 @@ func main() {
 	case "both":
 		planes = []vigil.Plane{vigil.OnFlowPlane, vigil.OnPacketPlane}
 	default:
+		profiler.Stop()
 		fmt.Fprintf(os.Stderr, "vigil-scenario: unknown plane %q (want flow, packet or both)\n", *plane)
 		os.Exit(2)
 	}
@@ -54,6 +73,7 @@ func main() {
 		for _, info := range vigil.Scenarios() {
 			fmt.Printf("%-22s %s\n", info.Name, info.Title)
 		}
+		profiler.Stop()
 		return
 	}
 
@@ -76,11 +96,14 @@ func main() {
 				Parallelism: *parallel,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			render(n, res, *timeline)
 		}
+	}
+	if err := profiler.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
+		os.Exit(1)
 	}
 }
 
@@ -104,8 +127,7 @@ func render(name string, res *vigil.ScenarioResult, timeline bool) {
 			)
 		}
 		if err := tab.RenderASCII(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "vigil-scenario:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	fmt.Printf("epochs: %d total, %d active, %d quiet (%d clean)\n",

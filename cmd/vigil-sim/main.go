@@ -12,10 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"vigil"
+	"vigil/internal/prof"
 	"vigil/internal/stats"
 )
 
@@ -32,22 +31,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	top := flag.Int("top", 10, "ranking entries to print")
 	parallel := flag.Int("par", 0, "epoch pipeline workers (0 = all cores); results are identical at any setting")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the epoch loop to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile (after the last epoch) to this file")
+	profiler := prof.Register()
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	if err := profiler.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+		os.Exit(1)
 	}
 
 	sim, err := vigil.NewSimulation(vigil.SimConfig{
@@ -104,22 +93,8 @@ func main() {
 			rep.Accuracy*100, rep.FlowsScored, rep.Detection.Precision, rep.Detection.Recall)
 	}
 
-	if *memprofile != "" {
-		fail := func(err error) {
-			// Flush the CPU profile (no-op if none is running) before
-			// exiting, or a memprofile error would discard it too.
-			pprof.StopCPUProfile()
-			fmt.Fprintln(os.Stderr, "vigil-sim:", err)
-			os.Exit(1)
-		}
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fail(err)
-		}
-		runtime.GC() // settle the heap so the profile shows retained state
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
-		}
-		f.Close()
+	if err := profiler.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "vigil-sim:", err)
+		os.Exit(1)
 	}
 }

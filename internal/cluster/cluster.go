@@ -4,6 +4,13 @@
 // the same composition as the paper's test cluster (§7) and production
 // deployment (§8). Reports can be delivered in-process or over real
 // loopback TCP (see netreport.go), exercising the full wire path.
+//
+// Epoch state is kept dense for the hot path: per-flow drop counts live in
+// a flow-indexed arena of small inline link/count sets (not nested maps),
+// the settled failure set is cached sorted, and — with EphemeralFlows —
+// flow records, connections and tuple indexes are recycled at each epoch
+// boundary so steady-state epochs run allocation-free and long scenario
+// timelines stay bounded in memory.
 package cluster
 
 import (
@@ -48,6 +55,14 @@ type Config struct {
 	// flows whose smoothed RTT crosses the threshold — the §9.2 latency
 	// diagnosis extension.
 	RTTThresholdMicros int64
+	// EphemeralFlows recycles flow records, connections and tuple indexes
+	// at each epoch boundary, right after the epoch's ground-truth frame is
+	// captured. Steady-state epochs then allocate (near) nothing and memory
+	// stays bounded over arbitrarily long runs — the mode the plane-agnostic
+	// engine uses for scenarios and conformance sweeps. The whole-run views
+	// (Flows, Truth, FailedConns) cover only the current epoch; LastEpoch
+	// frames are unaffected. Flow IDs stay globally unique either way.
+	EphemeralFlows bool
 	// Detect configures the analysis agent.
 	Detect vote.DetectOptions
 }
@@ -69,16 +84,41 @@ type Cluster struct {
 	Reporter func(vote.Report)
 
 	failures map[topology.LinkID]float64
-	flowIDs  map[ecmp.FiveTuple]int64
-	flows    []*flowRecord
+	// failedSorted caches FailedLinks' sorted snapshot; nil means dirty.
+	// Rebuilds allocate a fresh slice, so a returned snapshot is never
+	// mutated under a caller.
+	failedSorted []topology.LinkID
+
+	flowIDs map[ecmp.FiveTuple]int64
+	flows   []*flowRecord
+	// nextFlowID numbers flows across the whole run; it never resets, so
+	// recycled epochs still emit globally unique, deterministic IDs.
+	nextFlowID int64
 	// wireFlows indexes the forward wire tuple of every started connection
-	// to its flow id (latest flow wins a reused tuple, as in real TCP).
-	// The ground-truth tap matches against it, so reverse-direction ACKs
-	// and stray packets never enter the drop bookkeeping.
-	wireFlows map[ecmp.FiveTuple]int64
-	// dropsByFlow is ground truth harvested from fabric drop taps, keyed
-	// by flow id.
-	dropsByFlow map[int64]map[topology.LinkID]int
+	// to its slot in flows (latest flow wins a reused tuple, as in real
+	// TCP). The ground-truth tap matches against it, so reverse-direction
+	// ACKs and stray packets never enter the drop bookkeeping.
+	wireFlows map[ecmp.FiveTuple]int32
+	// dropIdx/dropArena are the dense per-flow drop ground truth: dropIdx
+	// parallels flows (slot → arena index, -1 when the flow lost nothing)
+	// and the arena holds small inline link/count sets — no nested maps on
+	// the tap path.
+	dropIdx   []int32
+	dropArena []flowDropSet
+
+	// Free lists (EphemeralFlows): records and connections recycled across
+	// epochs.
+	recPool  []*flowRecord
+	connPool []*Conn
+	// pendingStarts counts scheduled-but-unfired flow starts; recycling is
+	// skipped while any are outstanding (a caller scheduled traffic beyond
+	// the epoch boundary).
+	pendingStarts int
+
+	// genFlows is StartWorkload's reusable generation buffer.
+	genFlows []traffic.Flow
+	// pathBuf is the flow-truth path scratch.
+	pathBuf ecmp.PathBuf
 
 	epochStart des.Time
 	// Epoch rotation state: epochIdx feeds the fabric's rate schedules;
@@ -89,6 +129,16 @@ type Cluster struct {
 	epochFirstFlow int
 	epochDrops     int
 	lastEpoch      EpochFrame
+}
+
+// flowDropSet is one flow's per-link drop counts: an inline set sized for
+// the longest Clos path (6 links), chained through next in the (never
+// observed) case a flow's drops spread over more links.
+type flowDropSet struct {
+	links [8]topology.LinkID
+	cnts  [8]int32
+	n     int32
+	next  int32 // arena index of the overflow set, -1 if none
 }
 
 // EpochFrame is the per-epoch ground-truth bookkeeping the plane-agnostic
@@ -116,8 +166,13 @@ type flowRecord struct {
 	appTuple  ecmp.FiveTuple
 	wireTuple ecmp.FiveTuple
 	src, dst  topology.HostID
+	packets   int
 	conn      *Conn
 }
+
+// evStartFlow is the cluster's typed DES event: a scheduled connection
+// opening (arg = the flow's slot in flows).
+const evStartFlow int32 = 1
 
 // New builds a cluster over the topology.
 func New(cfg Config) (*Cluster, error) {
@@ -158,18 +213,17 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: bad noise range [%g,%g)", cfg.NoiseLo, cfg.NoiseHi)
 	}
 	cl := &Cluster{
-		cfg:         cfg,
-		Topo:        cfg.Topo,
-		Sched:       sched,
-		Router:      router,
-		Net:         net,
-		SLB:         slb.New(cfg.Topo, rng.Split()),
-		Agent:       analysis.NewAgent(analysis.Options{Detect: cfg.Detect}),
-		rng:         rng,
-		failures:    make(map[topology.LinkID]float64),
-		flowIDs:     make(map[ecmp.FiveTuple]int64),
-		wireFlows:   make(map[ecmp.FiveTuple]int64),
-		dropsByFlow: make(map[int64]map[topology.LinkID]int),
+		cfg:       cfg,
+		Topo:      cfg.Topo,
+		Sched:     sched,
+		Router:    router,
+		Net:       net,
+		SLB:       slb.New(cfg.Topo, rng.Split()),
+		Agent:     analysis.NewAgent(analysis.Options{Detect: cfg.Detect}),
+		rng:       rng,
+		failures:  make(map[topology.LinkID]float64),
+		flowIDs:   make(map[ecmp.FiveTuple]int64),
+		wireFlows: make(map[ecmp.FiveTuple]int32),
 	}
 	if cfg.NoiseHi > 0 {
 		// Baseline noise rates come from a stream derived from the seed, not
@@ -183,7 +237,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	cl.Reporter = cl.Agent.Submit
-	net.AddTap(cl.groundTruthTap)
+	net.AddDropTap(cl.groundTruthTap)
 	cl.Hosts = make([]*Host, len(cfg.Topo.Hosts))
 	for i := range cl.Hosts {
 		cl.Hosts[i] = newHost(cl, topology.HostID(i))
@@ -201,6 +255,7 @@ func (cl *Cluster) InjectFailure(l topology.LinkID, rate float64) error {
 		return err
 	}
 	cl.failures[l] = rate
+	cl.failedSorted = nil
 	return nil
 }
 
@@ -211,6 +266,7 @@ func (cl *Cluster) ClearFailure(l topology.LinkID) error {
 		return err
 	}
 	delete(cl.failures, l)
+	cl.failedSorted = nil
 	return nil
 }
 
@@ -230,6 +286,7 @@ func (cl *Cluster) ClearSchedules() {
 	for _, ls := range cl.Net.Schedules() {
 		delete(cl.failures, ls.Link)
 	}
+	cl.failedSorted = nil
 	cl.Net.ClearSchedules()
 }
 
@@ -254,21 +311,26 @@ func (cl *Cluster) applySchedules() {
 		} else {
 			delete(cl.failures, ls.Link)
 		}
+		cl.failedSorted = nil
 	}
 }
 
-// FailedLinks returns the injected failure set.
+// FailedLinks returns the injected failure set, sorted. The snapshot is
+// cached between failure-set changes; callers must not mutate it.
 func (cl *Cluster) FailedLinks() []topology.LinkID {
-	out := make([]topology.LinkID, 0, len(cl.failures))
-	for l := range cl.failures {
-		out = append(out, l)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	if cl.failedSorted == nil {
+		out := make([]topology.LinkID, 0, len(cl.failures))
+		for l := range cl.failures {
+			out = append(out, l)
 		}
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		cl.failedSorted = out
 	}
-	return out
+	return cl.failedSorted
 }
 
 func (cl *Cluster) report(r vote.Report) {
@@ -297,17 +359,52 @@ func (cl *Cluster) groundTruthTap(ev fabric.TapEvent) {
 		SrcIP: ev.IP.Src, DstIP: ev.IP.Dst,
 		SrcPort: ev.SrcPort, DstPort: ev.DstPort, Proto: ecmp.ProtoTCP,
 	}
-	id, ok := cl.wireFlows[tuple]
+	slot, ok := cl.wireFlows[tuple]
 	if !ok {
 		return
 	}
-	m := cl.dropsByFlow[id]
-	if m == nil {
-		m = make(map[topology.LinkID]int)
-		cl.dropsByFlow[id] = m
-	}
-	m[ev.Egress]++
+	cl.countDrop(slot, ev.Egress)
 	cl.epochDrops++
+}
+
+// countDrop records one dropped data packet against a flow slot in the
+// dense arena.
+func (cl *Cluster) countDrop(slot int32, l topology.LinkID) {
+	di := cl.dropIdx[slot]
+	if di < 0 {
+		di = cl.newDropSet()
+		cl.dropIdx[slot] = di
+	}
+	for {
+		set := &cl.dropArena[di]
+		for i := int32(0); i < set.n; i++ {
+			if set.links[i] == l {
+				set.cnts[i]++
+				return
+			}
+		}
+		if set.n < int32(len(set.links)) {
+			set.links[set.n] = l
+			set.cnts[set.n] = 1
+			set.n++
+			return
+		}
+		if set.next < 0 {
+			next := cl.newDropSet()
+			// The append in newDropSet may have moved the arena.
+			cl.dropArena[di].next = next
+			di = next
+		} else {
+			di = set.next
+		}
+	}
+}
+
+// newDropSet claims a fresh arena entry (the arena is truncated, not
+// freed, when epochs recycle, so steady state reuses capacity).
+func (cl *Cluster) newDropSet() int32 {
+	cl.dropArena = append(cl.dropArena, flowDropSet{next: -1})
+	return int32(len(cl.dropArena) - 1)
 }
 
 // StartFlow opens a direct (DIP-addressed) connection at time at.
@@ -334,27 +431,70 @@ func (cl *Cluster) StartVIPFlow(src topology.HostID, vip uint32, vipPort uint16,
 	return nil
 }
 
-func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.FiveTuple, packets int, at des.Time) {
-	rec := &flowRecord{
-		id:        int64(len(cl.flows)),
-		appTuple:  appTuple,
-		wireTuple: wireTuple,
-		src:       src,
-		dst:       dst,
+// getRecord produces a flow record, recycling one when available.
+func (cl *Cluster) getRecord() *flowRecord {
+	if n := len(cl.recPool); n > 0 {
+		rec := cl.recPool[n-1]
+		cl.recPool[n-1] = nil
+		cl.recPool = cl.recPool[:n-1]
+		*rec = flowRecord{}
+		return rec
 	}
+	return &flowRecord{}
+}
+
+// getConn produces a connection object. Pooled reuse bumps the
+// incarnation counter (so a previous life's timer events stay dead) and
+// keeps the sentAt ring and pending-timer capacity; everything else
+// resets.
+func (cl *Cluster) getConn() *Conn {
+	if n := len(cl.connPool); n > 0 {
+		c := cl.connPool[n-1]
+		cl.connPool[n-1] = nil
+		cl.connPool = cl.connPool[:n-1]
+		inc, ring, pend := c.incarnation, c.sentAt, c.pending[:0]
+		*c = Conn{incarnation: inc + 1, sentAt: ring, pending: pend}
+		return c
+	}
+	return &Conn{}
+}
+
+func (cl *Cluster) putConn(c *Conn) { cl.connPool = append(cl.connPool, c) }
+
+func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.FiveTuple, packets int, at des.Time) {
+	rec := cl.getRecord()
+	rec.id = cl.nextFlowID
+	rec.appTuple = appTuple
+	rec.wireTuple = wireTuple
+	rec.src = src
+	rec.dst = dst
+	rec.packets = packets
+	cl.nextFlowID++
+	slot := len(cl.flows)
 	cl.flows = append(cl.flows, rec)
+	cl.dropIdx = append(cl.dropIdx, -1)
 	cl.flowIDs[appTuple] = rec.id
-	cl.wireFlows[wireTuple] = rec.id
-	cl.Sched.At(at, func() {
-		rec.conn = cl.Hosts[src].openConn(wireTuple, appTuple, packets, nil)
-	})
+	cl.wireFlows[wireTuple] = int32(slot)
+	cl.pendingStarts++
+	cl.Sched.Post(at, cl, evStartFlow, int64(slot), nil)
+}
+
+// HandleEvent opens a scheduled connection (the cluster's typed DES event).
+func (cl *Cluster) HandleEvent(kind int32, arg int64, _ any) {
+	_ = kind // evStartFlow is the only kind the cluster schedules
+	cl.pendingStarts--
+	rec := cl.flows[arg]
+	rec.conn = cl.Hosts[rec.src].openConn(rec.wireTuple, rec.appTuple, rec.packets, nil)
 }
 
 // StartWorkload schedules a whole epoch's traffic, spread uniformly over
-// the first spread microseconds.
+// the first spread microseconds. Generation reuses the cluster's flow
+// buffer, and the draw order matches traffic.Workload.Generate exactly.
 func (cl *Cluster) StartWorkload(w traffic.Workload, spread des.Time) {
-	flows := w.Generate(cl.rng.Split(), cl.Topo)
-	for _, f := range flows {
+	var rng stats.RNG
+	rng.Seed(cl.rng.Uint64()) // the same child stream rng.Split() would derive
+	cl.genFlows = w.GenerateInto(cl.genFlows[:0], &rng, cl.Topo)
+	for _, f := range cl.genFlows {
 		cl.StartFlow(f, cl.epochStart+des.Time(cl.rng.Intn(int(spread))))
 	}
 }
@@ -378,7 +518,7 @@ func (cl *Cluster) RunEpoch() *analysis.Result {
 
 // captureEpochFrame snapshots the closing epoch's ground truth — while
 // cl.failures still holds the epoch's settled failure set — and rolls the
-// per-epoch flow bookkeeping.
+// per-epoch flow bookkeeping (recycling it under EphemeralFlows).
 func (cl *Cluster) captureEpochFrame() {
 	epochFlows := cl.flows[cl.epochFirstFlow:]
 	fr := EpochFrame{
@@ -386,10 +526,10 @@ func (cl *Cluster) captureEpochFrame() {
 		FailedLinks: cl.FailedLinks(),
 		Flows:       len(epochFlows),
 		Drops:       cl.epochDrops,
-		Truth:       make(map[int64]metrics.FlowTruth, len(epochFlows)),
+		Truth:       make(map[int64]metrics.FlowTruth, 8),
 	}
-	for _, rec := range epochFlows {
-		tr, failed := cl.flowTruth(rec)
+	for i, rec := range epochFlows {
+		tr, failed := cl.flowTruth(cl.epochFirstFlow+i, rec)
 		if !failed {
 			continue
 		}
@@ -398,8 +538,39 @@ func (cl *Cluster) captureEpochFrame() {
 	}
 	cl.lastEpoch = fr
 	cl.epochIdx++
-	cl.epochFirstFlow = len(cl.flows)
 	cl.epochDrops = 0
+	if cl.cfg.EphemeralFlows && cl.pendingStarts == 0 {
+		cl.recycleFlows()
+	} else {
+		cl.epochFirstFlow = len(cl.flows)
+	}
+}
+
+// recycleFlows returns the epoch's flow records (and their finished
+// connections) to the free lists and resets the tuple indexes and drop
+// arena, keeping capacity. Connections still in flight across the boundary
+// are marked orphan: they recycle themselves when they close.
+func (cl *Cluster) recycleFlows() {
+	for _, rec := range cl.flows {
+		if c := rec.conn; c != nil {
+			if c.Done || c.Failed {
+				cl.putConn(c)
+			} else {
+				c.orphan = true
+			}
+		}
+		rec.conn = nil
+		cl.recPool = append(cl.recPool, rec)
+	}
+	for i := range cl.flows {
+		cl.flows[i] = nil
+	}
+	cl.flows = cl.flows[:0]
+	cl.dropIdx = cl.dropIdx[:0]
+	cl.dropArena = cl.dropArena[:0]
+	clear(cl.flowIDs)
+	clear(cl.wireFlows)
+	cl.epochFirstFlow = 0
 }
 
 // LastEpoch returns the ground-truth frame of the most recently completed
@@ -409,21 +580,25 @@ func (cl *Cluster) LastEpoch() EpochFrame { return cl.lastEpoch }
 // flowTruth derives one flow's ground truth from the tap-harvested drop
 // counts and the current failure set; failed is false when the flow lost no
 // data packets.
-func (cl *Cluster) flowTruth(rec *flowRecord) (tr metrics.FlowTruth, failed bool) {
-	drops := cl.dropsByFlow[rec.id]
-	if len(drops) == 0 {
+func (cl *Cluster) flowTruth(slot int, rec *flowRecord) (tr metrics.FlowTruth, failed bool) {
+	di := cl.dropIdx[slot]
+	if di < 0 {
 		return metrics.FlowTruth{}, false
 	}
 	best := topology.NoLink
-	bestN := 0
-	for l, n := range drops {
-		if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
-			best, bestN = l, n
+	bestN := int32(0)
+	for i := di; i >= 0; i = cl.dropArena[i].next {
+		set := &cl.dropArena[i]
+		for j := int32(0); j < set.n; j++ {
+			l, n := set.links[j], set.cnts[j]
+			if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
+				best, bestN = l, n
+			}
 		}
 	}
 	tr = metrics.FlowTruth{Culprit: best}
-	if path, err := cl.Router.Path(rec.src, rec.dst, rec.wireTuple); err == nil {
-		for _, l := range path.Links {
+	if err := cl.Router.PathInto(rec.src, rec.dst, rec.wireTuple, &cl.pathBuf); err == nil {
+		for _, l := range cl.pathBuf.Links() {
 			if _, bad := cl.failures[l]; bad {
 				tr.CrossedFailure = true
 				break
@@ -434,20 +609,21 @@ func (cl *Cluster) flowTruth(rec *flowRecord) (tr metrics.FlowTruth, failed bool
 }
 
 // Truth builds the ground-truth map for scoring, from the fabric's drop
-// taps and the injected failure set, over every flow started so far. Only
-// forward-direction data-packet drops count, matching the paper's
-// attribution semantics.
+// taps and the injected failure set, over every flow started so far (the
+// current epoch's flows under EphemeralFlows). Only forward-direction
+// data-packet drops count, matching the paper's attribution semantics.
 func (cl *Cluster) Truth() map[int64]metrics.FlowTruth {
 	out := make(map[int64]metrics.FlowTruth)
-	for _, rec := range cl.flows {
-		if tr, failed := cl.flowTruth(rec); failed {
+	for slot, rec := range cl.flows {
+		if tr, failed := cl.flowTruth(slot, rec); failed {
 			out[rec.id] = tr
 		}
 	}
 	return out
 }
 
-// Flows returns records of all started flows.
+// Flows returns records of all started flows (the current epoch's under
+// EphemeralFlows).
 func (cl *Cluster) Flows() []*flowRecord { return cl.flows }
 
 // FailedConns counts connections that gave up (the "VM reboot" signal of

@@ -619,3 +619,102 @@ func TestClusterNoiseBaseline(t *testing.T) {
 		t.Fatalf("cleared link at %v, want its noise baseline %v", got, base)
 	}
 }
+
+// Ephemeral flow recycling must be invisible to the epoch pipeline: the
+// same seed and workload produce identical tallies, rankings and
+// ground-truth frames whether per-flow state is retained or recycled.
+func TestEphemeralFlowsMatchRetained(t *testing.T) {
+	run := func(ephemeral bool) (flows []int, totals []float64, frames []EpochFrame) {
+		topo, err := topology.New(topology.TestClusterConfig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := New(Config{Topo: topo, Seed: 51, EphemeralFlows: ephemeral})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := topo.LinksOfClass(topology.L1Down)[4]
+		if err := cl.InjectFailure(bad, 0.02); err != nil {
+			t.Fatal(err)
+		}
+		w := traffic.Workload{
+			Pattern:        traffic.Uniform{},
+			ConnsPerHost:   traffic.IntRange{Lo: 4, Hi: 4},
+			PacketsPerFlow: traffic.IntRange{Lo: 40, Hi: 80},
+		}
+		for e := 0; e < 3; e++ {
+			cl.StartWorkload(w, 10*des.Second)
+			res := cl.RunEpoch()
+			flows = append(flows, res.Tally.Flows())
+			totals = append(totals, res.Tally.Total())
+			frames = append(frames, cl.LastEpoch())
+		}
+		return
+	}
+	f1, t1, fr1 := run(false)
+	f2, t2, fr2 := run(true)
+	for e := range f1 {
+		if f1[e] != f2[e] || t1[e] != t2[e] {
+			t.Fatalf("epoch %d diverged: %d/%v vs %d/%v", e, f1[e], t1[e], f2[e], t2[e])
+		}
+		a, b := fr1[e], fr2[e]
+		if a.Flows != b.Flows || a.FailedFlows != b.FailedFlows || a.Drops != b.Drops {
+			t.Fatalf("epoch %d frames diverged: %+v vs %+v", e, a, b)
+		}
+		if len(a.Truth) != len(b.Truth) {
+			t.Fatalf("epoch %d truth sizes diverged: %d vs %d", e, len(a.Truth), len(b.Truth))
+		}
+		for id, tr := range a.Truth {
+			if b.Truth[id] != tr {
+				t.Fatalf("epoch %d flow %d truth diverged: %+v vs %+v", e, id, tr, b.Truth[id])
+			}
+		}
+	}
+}
+
+// The steady-state packet-plane epoch must be (near) allocation-free: with
+// ephemeral flows, a warmed cluster runs whole no-failure epochs — every
+// data packet, ACK and epoch roll — reusing pooled state. This mirrors the
+// flow plane's TestSteadyStateEpochAllocs budget.
+func TestClusterEpochAllocs(t *testing.T) {
+	topo, err := topology.New(topology.TestClusterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Topo: topo, Seed: 3, EphemeralFlows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 10, Hi: 10},
+		PacketsPerFlow: traffic.IntRange{Lo: 75, Hi: 150},
+	}
+	epoch := func() {
+		cl.StartWorkload(w, 20*des.Second)
+		res := cl.RunEpoch()
+		if cl.LastEpoch().Flows == 0 {
+			t.Fatal("no flows")
+		}
+		if res == nil {
+			t.Fatal("no result")
+		}
+	}
+	// Warm every pool: packet buffers, scheduler lanes, conns, records,
+	// tuple maps, the analysis inbox.
+	for i := 0; i < 2; i++ {
+		epoch()
+	}
+	flows := cl.LastEpoch().Flows
+	if flows < 300 {
+		t.Fatalf("want a full workload epoch, got %d flows", flows)
+	}
+	avg := testing.AllocsPerRun(5, epoch)
+	// ~400 connections and ~90k emulated packets per epoch settle around
+	// 34 allocations — the fixed per-epoch cost (frame, empty analysis
+	// close, map growth remnants). The budget leaves slack for runtime
+	// variation but pins per-flow cost to zero.
+	if avg > 120 {
+		t.Fatalf("steady-state cluster epoch allocates %.0f times for %d flows", avg, flows)
+	}
+}

@@ -27,6 +27,10 @@ type Host struct {
 	rx    map[ecmp.FiveTuple]uint32 // receiver: next expected seq per flow
 }
 
+// connEvRTO is the connection's one typed DES event: a retransmission
+// timer firing (arg = the generation that armed it).
+const connEvRTO int32 = 1
+
 // Conn is one outgoing reliable connection. Loss recovery is a compact
 // cumulative-ACK scheme: three duplicate ACKs trigger fast retransmit, a
 // doubling RTO timer triggers timeout retransmit, and MaxRetries
@@ -45,18 +49,43 @@ type Conn struct {
 	dupAcks  int
 	retries  int
 	rto      des.Time
-	rtoGen   uint64
+	// The retransmission timer is lazy: armRTO records the live deadline
+	// and posts a DES event only when no pending timer event fires at or
+	// before it — an ACK-heavy connection keeps one queue entry instead of
+	// one per ACK. pending tracks this connection's outstanding timer
+	// events' fire times, ascending; since DES events fire in time order,
+	// the front is always the next to arrive. The invariant "some pending
+	// fire time ≤ rtoDeadline while armed" means a fire lands at exactly
+	// the live deadline — the same virtual time an eager per-arm event
+	// would have used — including when the deadline moves earlier (RTO
+	// doubled by a timeout, then reset by an ACK).
+	rtoDeadline des.Time
+	pending     []des.Time
+	// incarnation distinguishes pooled reuses: timer events carry it, so a
+	// straggler event from a previous life of this object is ignored
+	// without touching the live timer state.
+	incarnation uint64
 
-	// sentAt records first-transmission times for RTT sampling; following
-	// Karn's rule, retransmitted segments are never sampled.
-	sentAt map[uint32]des.Time
-	srtt   des.Time
+	// sentAt rings first-transmission times for RTT sampling, indexed by
+	// seq & sentMask; noSample marks entries suppressed under Karn's rule
+	// (retransmitted segments are never sampled). The in-flight window
+	// never exceeds the ring size, so slots are unambiguous.
+	sentAt   []des.Time
+	sentMask uint32
+	srtt     des.Time
 
 	Retransmits int
 	Done        bool
 	Failed      bool
-	onClose     func(c *Conn)
+	// orphan marks a connection whose flow record was already recycled
+	// (EphemeralFlows): it returns itself to the pool when it closes.
+	orphan  bool
+	onClose func(c *Conn)
 }
+
+// noSample is the sentAt sentinel for Karn-suppressed slots (virtual time
+// is never negative).
+const noSample des.Time = -1
 
 func newHost(cl *Cluster, id topology.HostID) *Host {
 	h := &Host{
@@ -71,7 +100,8 @@ func newHost(cl *Cluster, id topology.HostID) *Host {
 		Topo:         cl.Topo,
 		Host:         id,
 		SLB:          cl.SLB,
-		Send:         func(data []byte) { cl.Net.SendFromHost(id, data) },
+		NewPacket:    cl.Net.NewPacket,
+		SendPacket:   func(pkt *wire.Buffer) { cl.Net.Send(id, pkt) },
 		Sched:        cl.Sched,
 		Ct:           cl.cfg.Ct,
 		ProbeTimeout: cl.cfg.ProbeTimeout,
@@ -88,7 +118,8 @@ func newHost(cl *Cluster, id topology.HostID) *Host {
 
 // receive is the host's packet entry point: ICMP goes to path discovery,
 // valid TCP to the stack, everything else (including 007's bad-checksum
-// probes) is dropped exactly as a real stack would drop it.
+// probes) is dropped exactly as a real stack would drop it. data is
+// borrowed from the fabric's packet pool and must not be retained.
 func (h *Host) receive(data []byte) {
 	var ip wire.IPv4
 	payload, err := wire.DecodeIPv4(data, &ip)
@@ -138,33 +169,49 @@ func (h *Host) receiveData(tuple ecmp.FiveTuple, seq uint32) {
 	})
 }
 
+// sendSegment serializes one TCP segment into a pooled packet buffer and
+// hands it to the fabric (which owns it from then on).
 func (h *Host) sendSegment(tuple ecmp.FiveTuple, tcp wire.TCP) {
-	buf := wire.NewBuffer(wire.IPv4HeaderLen + wire.TCPHeaderLen)
+	pkt := h.cl.Net.NewPacket()
 	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: tuple.SrcIP, Dst: tuple.DstIP}
 	tcp.SrcPort, tcp.DstPort = tuple.SrcPort, tuple.DstPort
-	tcp.SerializeTo(buf, &ip)
-	ip.SerializeTo(buf)
-	out := make([]byte, len(buf.Bytes()))
-	copy(out, buf.Bytes())
-	h.cl.Net.SendFromHost(h.id, out)
+	tcp.SerializeTo(pkt, &ip)
+	ip.SerializeTo(pkt)
+	h.cl.Net.Send(h.id, pkt)
 }
 
 // openConn starts a connection sending total packets to the wire tuple.
+// Connection objects come from the cluster's pool; each reuse is a new
+// incarnation, so stale timer events from a previous life can never fire.
 func (h *Host) openConn(wireTuple, appTuple ecmp.FiveTuple, total int, onClose func(*Conn)) *Conn {
-	c := &Conn{
-		host:      h,
-		wireTuple: wireTuple,
-		appTuple:  appTuple,
-		total:     uint32(total),
-		rto:       h.cl.cfg.RTO,
-		onClose:   onClose,
-		sentAt:    make(map[uint32]des.Time),
-	}
+	c := h.cl.getConn()
+	c.host = h
+	c.wireTuple = wireTuple
+	c.appTuple = appTuple
+	c.total = uint32(total)
+	c.rto = h.cl.cfg.RTO
+	c.onClose = onClose
+	c.ensureRing(h.cl.cfg.Window)
 	h.conns[wireTuple] = c
 	h.Bus.Publish(etw.Event{Kind: etw.ConnEstablished, Flow: appTuple})
 	c.pump()
 	c.armRTO()
 	return c
+}
+
+// ensureRing sizes the sentAt ring to the smallest power of two that holds
+// the send window, reusing prior capacity across pooled incarnations.
+func (c *Conn) ensureRing(window int) {
+	size := 1
+	for size < window {
+		size <<= 1
+	}
+	if cap(c.sentAt) >= size {
+		c.sentAt = c.sentAt[:size]
+	} else {
+		c.sentAt = make([]des.Time, size)
+	}
+	c.sentMask = uint32(size - 1)
 }
 
 func (c *Conn) sendData(seq uint32) {
@@ -177,7 +224,7 @@ func (c *Conn) sendData(seq uint32) {
 func (c *Conn) pump() {
 	win := uint32(c.host.cl.cfg.Window)
 	for c.nextSend < c.total && c.nextSend < c.acked+win {
-		c.sentAt[c.nextSend] = c.host.cl.Sched.Now()
+		c.sentAt[c.nextSend&c.sentMask] = c.host.cl.Sched.Now()
 		c.sendData(c.nextSend)
 		c.nextSend++
 	}
@@ -213,7 +260,7 @@ func (c *Conn) onAck(ackN uint32) {
 // ETW retransmission event that wakes 007.
 func (c *Conn) retransmit(timeout bool) {
 	c.Retransmits++
-	delete(c.sentAt, c.acked) // Karn: never RTT-sample a retransmission
+	c.sentAt[c.acked&c.sentMask] = noSample // Karn: never RTT-sample a retransmission
 	c.host.Bus.Publish(etw.Event{
 		Kind: etw.Retransmit, Flow: c.appTuple, Seq: c.acked, Timeout: timeout,
 	})
@@ -223,13 +270,13 @@ func (c *Conn) retransmit(timeout bool) {
 
 // sampleRTT folds the newly acknowledged segment's round trip into the
 // smoothed estimate (RFC 6298's 7/8-1/8 EWMA) and publishes it — the
-// per-ACK SRTT stream that §9.2's latency diagnosis thresholds.
+// per-ACK SRTT stream that §9.2's latency diagnosis thresholds. The
+// cumulative ACK only ever covers sent segments, so the ring slot for
+// ackN-1 is either that segment's first-transmission time or the Karn
+// sentinel.
 func (c *Conn) sampleRTT(ackN uint32) {
-	at, ok := c.sentAt[ackN-1]
-	for seq := c.acked; seq < ackN; seq++ {
-		delete(c.sentAt, seq)
-	}
-	if !ok {
+	at := c.sentAt[(ackN-1)&c.sentMask]
+	if at == noSample {
 		return
 	}
 	sample := c.host.cl.Sched.Now() - at
@@ -244,15 +291,47 @@ func (c *Conn) sampleRTT(ackN uint32) {
 }
 
 func (c *Conn) armRTO() {
-	c.rtoGen++
-	gen := c.rtoGen
-	c.host.cl.Sched.After(c.rto, func() { c.onRTO(gen) })
+	c.rtoDeadline = c.host.cl.Sched.Now() + c.rto
+	if len(c.pending) == 0 || c.rtoDeadline < c.pending[0] {
+		c.postTimer(c.rtoDeadline)
+	}
 }
 
-func (c *Conn) onRTO(gen uint64) {
-	if c.Done || c.Failed || gen != c.rtoGen {
+// postTimer schedules a timer event at `at` and records it at the front
+// of pending (callers only post times strictly before the current front,
+// so the ascending order is maintained by prepending).
+func (c *Conn) postTimer(at des.Time) {
+	c.pending = append(c.pending, 0)
+	copy(c.pending[1:], c.pending)
+	c.pending[0] = at
+	c.host.cl.Sched.Post(at, c, connEvRTO, int64(c.incarnation), nil)
+}
+
+// HandleEvent receives the connection's RTO timer events from the DES.
+func (c *Conn) HandleEvent(kind int32, arg int64, _ any) {
+	_ = kind // connEvRTO is the only kind a Conn schedules
+	if uint64(arg) != c.incarnation {
+		return // a previous pooled life's timer
+	}
+	// This fire is pending's front: this incarnation's events fire in
+	// posting-time order.
+	copy(c.pending, c.pending[1:])
+	c.pending = c.pending[:len(c.pending)-1]
+	if c.Done || c.Failed {
 		return
 	}
+	if now := c.host.cl.Sched.Now(); now < c.rtoDeadline {
+		// Superseded by a later re-arm: make sure something still fires at
+		// the live deadline, then stand down.
+		if len(c.pending) == 0 || c.rtoDeadline < c.pending[0] {
+			c.postTimer(c.rtoDeadline)
+		}
+		return
+	}
+	c.onRTO()
+}
+
+func (c *Conn) onRTO() {
 	c.retries++
 	if c.retries > c.host.cl.cfg.MaxRetries {
 		c.close(true)
@@ -271,5 +350,8 @@ func (c *Conn) close(failed bool) {
 	c.host.Bus.Publish(etw.Event{Kind: etw.ConnClosed, Flow: c.appTuple, Timeout: failed})
 	if c.onClose != nil {
 		c.onClose(c)
+	}
+	if c.orphan {
+		c.host.cl.putConn(c)
 	}
 }

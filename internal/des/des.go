@@ -2,9 +2,18 @@
 // packet-level emulation (fabric, hosts, agents) runs entirely on virtual
 // time, which makes ICMP rate limits, retransmission timeouts and epoch
 // boundaries exact and deterministic regardless of wall-clock load.
+//
+// The queue is a monomorphic 4-ary min-heap over typed event records, so
+// the hot path — scheduling a packet hop, a retransmission timeout or an
+// epoch tick — allocates nothing: components implement Handler once and
+// pass a kind tag, an integer argument and an optional pointer payload
+// through Post/PostAfter. The closure form (At/After) remains for cold
+// paths and tests; it costs exactly the closure the caller builds, with no
+// further boxing inside the scheduler.
+//
+// Events fire in (time, submission order): simultaneous events run FIFO,
+// which is what makes the emulation bit-identical across runs.
 package des
-
-import "container/heap"
 
 // Time is virtual time in microseconds since the start of the run.
 type Time int64
@@ -16,39 +25,62 @@ const (
 	Second      Time = 1000 * 1000
 )
 
+// Handler consumes typed events. Implementations are long-lived objects (a
+// fabric, a connection, a discovery agent): scheduling against them stores
+// only the interface word pair, so no allocation happens per event. The
+// kind tag is private to each handler — it only needs to disambiguate the
+// events that handler itself schedules. arg carries a small integer
+// (a link id, a generation counter, a flow slot); p carries an optional
+// pointer-shaped payload (boxing a pointer into the any does not allocate).
+type Handler interface {
+	HandleEvent(kind int32, arg int64, p any)
+}
+
+// event is one queue entry. Closure events store the func() in p with a
+// nil Handler; typed events use h/kind/arg/p directly.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among simultaneous events
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	arg  int64
+	h    Handler
+	p    any
+	kind int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, submission sequence).
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Scheduler owns the virtual clock and the pending event queue.
 // The zero value is ready to use. Not safe for concurrent use: the
 // emulation is single-threaded by design.
+//
+// The queue is two structures popped in one total (time, seq) order: a
+// FIFO fast lane for the monotone stream the packet fabric generates
+// (fixed link delays from a nondecreasing clock arrive already sorted,
+// so they enqueue and dequeue in O(1)), and a 4-ary min-heap for
+// everything else (timers, epoch ticks, spread-out flow starts). Step
+// compares the two heads under the same ordering the heap alone would
+// use, so the pop sequence — and with it the emulation — is bit-identical
+// to a single-queue scheduler.
 type Scheduler struct {
-	now    Time
-	nextID uint64
-	events eventHeap
+	now      Time
+	nextID   uint64
+	heap     []event // 4-ary min-heap
+	fifo     []event // monotone fast lane; live region is fifo[fifoHead:]
+	fifoHead int
 }
+
+// nearWindow bounds how far ahead of the clock an event may open an empty
+// FIFO lane. Without it a lone far-future timer would squat at the lane
+// head and force the monotone delivery stream back onto the heap until it
+// fired. Link delays (and injected extra latency) sit well below it;
+// retransmission and probe timeouts sit above.
+const nearWindow = 10 * Millisecond
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -56,34 +88,153 @@ func (s *Scheduler) Now() Time { return s.now }
 // At schedules fn at absolute time t. Events in the past run "now": the
 // clock never moves backward.
 func (s *Scheduler) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.nextID++
-	heap.Push(&s.events, event{at: t, seq: s.nextID, fn: fn})
+	s.push(t, nil, 0, 0, fn)
 }
 
 // After schedules fn d microseconds from now.
 func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
+// Post schedules a typed event at absolute time t without allocating.
+// Past times are clamped to now, like At.
+func (s *Scheduler) Post(t Time, h Handler, kind int32, arg int64, p any) {
+	if h == nil {
+		panic("des: Post with nil Handler")
+	}
+	s.push(t, h, kind, arg, p)
+}
+
+// PostAfter schedules a typed event d microseconds from now.
+func (s *Scheduler) PostAfter(d Time, h Handler, kind int32, arg int64, p any) {
+	s.Post(s.now+d, h, kind, arg, p)
+}
+
+func (s *Scheduler) push(t Time, h Handler, kind int32, arg int64, p any) {
+	if t < s.now {
+		t = s.now
+	}
+	s.nextID++
+	e := event{at: t, seq: s.nextID, arg: arg, h: h, p: p, kind: kind}
+	// Monotone fast lane: a near event no earlier than the lane's tail is
+	// already in sorted position. Far events are excluded even when they
+	// would extend the tail — a 20ms timer at the tail would force every
+	// following 5µs delivery onto the heap until it fired.
+	if t-s.now <= nearWindow {
+		if n := len(s.fifo); n > s.fifoHead {
+			if t >= s.fifo[n-1].at {
+				s.fifo = append(s.fifo, e)
+				return
+			}
+		} else {
+			s.fifo = s.fifo[:0]
+			s.fifoHead = 0
+			s.fifo = append(s.fifo, e)
+			return
+		}
+	}
+	s.heap = append(s.heap, e)
+	// Sift up.
+	ev := s.heap
+	i := len(ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev[i].less(&ev[parent]) {
+			break
+		}
+		ev[i], ev[parent] = ev[parent], ev[i]
+		i = parent
+	}
+}
+
+// popRoot removes the minimum heap event, restoring the heap. The vacated
+// tail slot is zeroed so the queue does not pin handler or payload
+// references.
+func (s *Scheduler) popRoot() {
+	ev := s.heap
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	ev[n] = event{}
+	ev = ev[:n]
+	s.heap = ev
+	// Sift down (4-ary: children of i are 4i+1 .. 4i+4).
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			return
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if ev[j].less(&ev[m]) {
+				m = j
+			}
+		}
+		if !ev[m].less(&ev[i]) {
+			return
+		}
+		ev[i], ev[m] = ev[m], ev[i]
+		i = m
+	}
+}
+
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) + len(s.fifo) - s.fifoHead }
+
+// peek returns the next event in (time, seq) order without removing it,
+// or nil when the queue is empty.
+func (s *Scheduler) peek() *event {
+	var next *event
+	if s.fifoHead < len(s.fifo) {
+		next = &s.fifo[s.fifoHead]
+	}
+	if len(s.heap) > 0 && (next == nil || s.heap[0].less(next)) {
+		next = &s.heap[0]
+	}
+	return next
+}
 
 // Step runs the next event; it reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	var e event
+	if h := s.fifoHead; h < len(s.fifo) {
+		if len(s.heap) > 0 && s.heap[0].less(&s.fifo[h]) {
+			e = s.heap[0]
+			s.popRoot()
+		} else {
+			e = s.fifo[h]
+			s.fifo[h] = event{}
+			s.fifoHead = h + 1
+			if s.fifoHead == len(s.fifo) {
+				s.fifo = s.fifo[:0]
+				s.fifoHead = 0
+			}
+		}
+	} else if len(s.heap) > 0 {
+		e = s.heap[0]
+		s.popRoot()
+	} else {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
 	s.now = e.at
-	e.fn()
+	if e.h != nil {
+		e.h.HandleEvent(e.kind, e.arg, e.p)
+	} else {
+		e.p.(func())()
+	}
 	return true
 }
 
 // RunUntil executes events until the queue empties or the next event lies
 // beyond deadline; the clock is then advanced to the deadline.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.events) > 0 && s.events[0].at <= deadline {
+	for {
+		next := s.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {

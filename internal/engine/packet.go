@@ -46,6 +46,11 @@ func newPacketEngine(cfg Config) (*packetEngine, error) {
 		NoiseLo: cfg.NoiseLo,
 		NoiseHi: cfg.NoiseHi,
 		Detect:  cfg.Detect,
+		// The engine scores each epoch off its captured frame, never off
+		// whole-run flow history, so the cluster can recycle per-flow state
+		// at every boundary: scenario sweeps and conformance runs stay
+		// allocation-free and memory-bounded however many epochs they span.
+		EphemeralFlows: true,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ package etw
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"vigil/internal/ecmp"
 )
@@ -43,26 +44,37 @@ type Event struct {
 }
 
 // Bus is a host-local event bus. Subscribing is expected at setup time;
-// publishing is hot-path and lock-cheap. Safe for concurrent use.
+// publishing is hot-path and lock-free: the subscriber list is an atomic
+// copy-on-write snapshot, so a publish costs one atomic load (the
+// emulation publishes an RTT sample per received ACK). Safe for concurrent
+// use.
 type Bus struct {
-	mu   sync.RWMutex
-	subs []func(Event)
+	mu   sync.Mutex // serializes subscribers
+	subs atomic.Pointer[[]func(Event)]
 }
 
 // Subscribe registers fn for all future events.
 func (b *Bus) Subscribe(fn func(Event)) {
 	b.mu.Lock()
-	b.subs = append(b.subs, fn)
-	b.mu.Unlock()
+	defer b.mu.Unlock()
+	var cur []func(Event)
+	if p := b.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]func(Event), len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = fn
+	b.subs.Store(&next)
 }
 
 // Publish delivers e to all subscribers synchronously, in subscription
 // order.
 func (b *Bus) Publish(e Event) {
-	b.mu.RLock()
-	subs := b.subs
-	b.mu.RUnlock()
-	for _, fn := range subs {
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	for _, fn := range *p {
 		fn(e)
 	}
 }

@@ -8,9 +8,18 @@
 //
 // The fabric is single-threaded on virtual time (package des); determinism
 // comes from the explicit RNG and the scheduler's FIFO tie-breaking.
+//
+// Packet memory is pooled: a packet lives in a wire.Buffer obtained from
+// the fabric's free list (NewPacket), is carried by reference through
+// send → hop → deliver, and returns to the pool the moment it dies — on a
+// link drop, a corrupt or unroutable header, a TTL expiry (after the ICMP
+// reply is built), or right after the destination host's receive callback
+// returns. Host callbacks therefore only borrow the packet bytes and must
+// not retain them. Steady-state forwarding allocates nothing.
 package fabric
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"vigil/internal/des"
@@ -20,6 +29,15 @@ import (
 	"vigil/internal/topology"
 	"vigil/internal/wire"
 )
+
+// PacketHeadroom is the prepend room NewPacket reserves: enough for the
+// deepest header stack the emulation builds (outer IPv4 + ICMP + embedded
+// IPv4 header + 8 payload bytes).
+const PacketHeadroom = 64
+
+// evDeliver is the fabric's one typed event: a packet arriving at the far
+// end of a link (arg = link id, payload = the packet buffer).
+const evDeliver int32 = 1
 
 // Config assembles a fabric.
 type Config struct {
@@ -51,6 +69,20 @@ type TapEvent struct {
 // Tap observes forwarded and dropped packets.
 type Tap func(TapEvent)
 
+// icmpSecCount is one switch's live ICMP counter for the current virtual
+// second; finished seconds fold into the aggregate distribution.
+type icmpSecCount struct {
+	sec int64
+	n   int32
+}
+
+// icmpRingCap bounds the retained per-(switch, second) history: the
+// distribution (ICMPSecondStats) is folded incrementally, so only a window
+// of recent raw counts is kept for inspection. The old map grew by one
+// entry per busy switch-second for the life of the run — a leak on long
+// scenario timelines.
+const icmpRingCap = 4096
+
 // Net is the running fabric.
 type Net struct {
 	cfg        Config
@@ -62,14 +94,25 @@ type Net struct {
 	hostRx     []func(data []byte)
 	buckets    []tokenBucket
 	taps       []Tap
+	dropTaps   []Tap
 	schedules  []ScheduledLink
+	pool       wire.Pool
 
 	// Counters, indexed by link and switch respectively.
 	LinkForwarded  []int64
 	LinkDropped    []int64
 	ICMPSent       []int64
 	ICMPSuppressed []int64
-	icmpPerSec     map[int64]int // (switch<<32 | second) → count
+
+	// Bounded per-(switch, second) ICMP accounting: live counters per
+	// switch, folded low/high/max aggregates, and a ring of recent
+	// finished counts.
+	icmpCur  []icmpSecCount
+	icmpLow  int64 // finished switch-seconds with 1-3 messages
+	icmpHigh int64 // finished switch-seconds with >3 messages
+	icmpMax  int
+	icmpRing []int32
+	icmpPos  int
 }
 
 // New builds a fabric over the topology.
@@ -95,10 +138,13 @@ func New(cfg Config) (*Net, error) {
 		LinkDropped:    make([]int64, len(cfg.Topo.Links)),
 		ICMPSent:       make([]int64, len(cfg.Topo.Switches)),
 		ICMPSuppressed: make([]int64, len(cfg.Topo.Switches)),
-		icmpPerSec:     make(map[int64]int),
+		icmpCur:        make([]icmpSecCount, len(cfg.Topo.Switches)),
 	}
 	for i := range n.buckets {
 		n.buckets[i] = tokenBucket{tokens: cfg.Tmax, rate: cfg.Tmax, burst: cfg.Tmax}
+	}
+	for i := range n.icmpCur {
+		n.icmpCur[i].sec = -1
 	}
 	return n, nil
 }
@@ -262,57 +308,99 @@ func (n *Net) lagDropRate(l topology.LinkID, data []byte) float64 {
 	return members[int(h%uint32(len(members)))]
 }
 
-// OnHostPacket registers the receive handler for host h.
+// OnHostPacket registers the receive handler for host h. The handler
+// borrows data only for the duration of the call: the backing buffer
+// returns to the packet pool as soon as it returns, so retaining callers
+// must copy.
 func (n *Net) OnHostPacket(h topology.HostID, fn func(data []byte)) { n.hostRx[h] = fn }
 
 // AddTap installs a mirror tap observing every switch forwarding decision
 // and every link drop.
 func (n *Net) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
-// SendFromHost injects a packet from host h onto its uplink.
-func (n *Net) SendFromHost(h topology.HostID, data []byte) {
-	n.transmit(n.topo.Hosts[h].Uplink, data)
+// AddDropTap installs a tap that only observes link drops. Drop-only
+// consumers (the cluster's ground-truth harvest) register here so the
+// per-hop forwarding path does not pay for building their events.
+func (n *Net) AddDropTap(t Tap) { n.dropTaps = append(n.dropTaps, t) }
+
+// NewPacket returns an empty pooled buffer with standard headroom. Fill it
+// payload-first (wire's prepend discipline) and hand it to Send, which
+// takes ownership.
+func (n *Net) NewPacket() *wire.Buffer { return n.pool.Get(PacketHeadroom) }
+
+// Send injects a serialized packet from host h onto its uplink, taking
+// ownership of pkt: the fabric releases it back to the pool when the
+// packet dies. The buffer must have come from NewPacket.
+func (n *Net) Send(h topology.HostID, pkt *wire.Buffer) {
+	n.send(n.topo.Hosts[h].Uplink, pkt)
 }
 
-// transmit carries data across link l: maybe drop, else deliver to the far
-// end after the link delay.
-func (n *Net) transmit(l topology.LinkID, data []byte) {
+// SendFromHost injects a packet from host h onto its uplink. The bytes are
+// copied into a pooled buffer, so the caller keeps ownership of data; hot
+// paths should build into NewPacket and use Send instead.
+func (n *Net) SendFromHost(h topology.HostID, data []byte) {
+	pkt := n.pool.Get(0)
+	pkt.Append(data)
+	n.send(n.topo.Hosts[h].Uplink, pkt)
+}
+
+// release returns a dead packet's buffer to the pool.
+func (n *Net) release(pkt *wire.Buffer) { n.pool.Put(pkt) }
+
+// send carries pkt across link l: maybe drop, else deliver to the far
+// end after the link delay. Ownership of pkt passes to the fabric.
+func (n *Net) send(l topology.LinkID, pkt *wire.Buffer) {
 	r := n.dropRate[l]
-	if _, isLAG := n.lag[l]; isLAG {
-		r = n.lagDropRate(l, data)
+	if n.lag != nil {
+		if _, isLAG := n.lag[l]; isLAG {
+			r = n.lagDropRate(l, pkt.Bytes())
+		}
 	}
 	if r > 0 && n.cfg.RNG.Bool(r) {
 		n.LinkDropped[l]++
-		n.notifyDrop(l, data)
+		n.notifyDrop(l, pkt.Bytes())
+		n.release(pkt)
 		return
 	}
 	n.LinkForwarded[l]++
-	to := n.topo.Links[l].To
-	n.cfg.Sched.After(n.cfg.LinkDelay+n.extraDelay[l], func() {
-		if to.Kind == topology.NodeHost {
-			if fn := n.hostRx[to.ID]; fn != nil {
-				fn(data)
-			}
-			return
-		}
-		n.switchHandle(topology.SwitchID(to.ID), data)
-	})
+	n.cfg.Sched.PostAfter(n.cfg.LinkDelay+n.extraDelay[l], n, evDeliver, int64(l), pkt)
 }
 
-// switchHandle is a switch's forwarding path.
-func (n *Net) switchHandle(sw topology.SwitchID, data []byte) {
+// HandleEvent delivers a packet at the far end of its link (the fabric's
+// one typed DES event).
+func (n *Net) HandleEvent(kind int32, arg int64, p any) {
+	_ = kind // evDeliver is the only kind the fabric schedules
+	pkt := p.(*wire.Buffer)
+	to := n.topo.Links[arg].To
+	if to.Kind == topology.NodeHost {
+		if fn := n.hostRx[to.ID]; fn != nil {
+			fn(pkt.Bytes())
+		}
+		n.release(pkt)
+		return
+	}
+	n.switchHandle(topology.SwitchID(to.ID), pkt)
+}
+
+// switchHandle is a switch's forwarding path. It owns pkt: every exit
+// either forwards it onward or releases it.
+func (n *Net) switchHandle(sw topology.SwitchID, pkt *wire.Buffer) {
+	data := pkt.Bytes()
 	var ip wire.IPv4
 	payload, err := wire.DecodeIPv4(data, &ip)
 	if err != nil {
-		return // corrupt header: silently dropped, as hardware would
+		n.release(pkt) // corrupt header: silently dropped, as hardware would
+		return
 	}
 	if ip.TTL <= 1 {
 		n.ttlExpired(sw, data, ip)
+		n.release(pkt)
 		return
 	}
 	dstNode, ok := n.topo.LookupIP(ip.Dst)
 	if !ok || dstNode.Kind != topology.NodeHost {
-		return // not routable (switch loopbacks are never packet sinks)
+		n.release(pkt) // not routable (switch loopbacks are never packet sinks)
+		return
 	}
 	decrementTTL(data)
 	tuple := ecmp.FiveTuple{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
@@ -324,15 +412,17 @@ func (n *Net) switchHandle(sw topology.SwitchID, data []byte) {
 	}
 	egress, err := n.cfg.Router.NextHopLink(sw, tuple, topology.HostID(dstNode.ID))
 	if err != nil {
+		n.release(pkt)
 		return
 	}
 	n.notifyForward(sw, egress, ip, tuple, seq)
-	n.transmit(egress, data)
+	n.send(egress, pkt)
 }
 
 // ttlExpired runs the switch control plane: generate an ICMP time-exceeded
 // reply if the token bucket allows, else silently drop (the switch CPU is
 // protected; this is exactly the behaviour 007's Ct bound must respect).
+// It borrows data; the caller still owns (and releases) the expired packet.
 func (n *Net) ttlExpired(sw topology.SwitchID, data []byte, ip wire.IPv4) {
 	if ip.Protocol == wire.ProtoICMP {
 		return // never ICMP about ICMP (RFC 792 discipline)
@@ -346,35 +436,45 @@ func (n *Net) ttlExpired(sw topology.SwitchID, data []byte, ip wire.IPv4) {
 		return
 	}
 	n.ICMPSent[sw]++
-	sec := int64(n.cfg.Sched.Now() / des.Second)
-	n.icmpPerSec[int64(sw)<<32|sec]++
+	n.countICMP(sw, int64(n.cfg.Sched.Now()/des.Second))
 
-	reply := wire.TimeExceeded(data)
-	buf := wire.NewBuffer(64)
-	reply.SerializeTo(buf)
+	// RFC 792 body: the expired packet's IP header plus its first 8 payload
+	// bytes, copied straight into a pooled reply buffer.
+	k := wire.IPv4HeaderLen + 8
+	if k > len(data) {
+		k = len(data)
+	}
+	reply := n.pool.Get(PacketHeadroom)
+	reply.Append(data[:k])
+	ic := wire.ICMP{Type: wire.ICMPTypeTimeExceeded, Code: wire.ICMPCodeTTLExpired}
+	ic.SerializeHeaderTo(reply)
 	replyIP := wire.IPv4{
 		TTL: 64, Protocol: wire.ProtoICMP,
 		Src: n.topo.Switches[sw].IP, Dst: ip.Src,
 	}
-	replyIP.SerializeTo(buf)
-	out := make([]byte, len(buf.Bytes()))
-	copy(out, buf.Bytes())
+	replyIP.SerializeTo(reply)
 
 	tuple := ecmp.FiveTuple{SrcIP: replyIP.Src, DstIP: replyIP.Dst, Proto: wire.ProtoICMP}
 	egress, err := n.cfg.Router.NextHopLink(sw, tuple, topology.HostID(srcNode.ID))
 	if err != nil {
+		n.release(reply)
 		return
 	}
-	n.transmit(egress, out)
+	n.send(egress, reply)
 }
 
+// decrementTTL patches the TTL and updates the header checksum
+// incrementally (RFC 1624): the TTL sits in the high byte of word 4, so
+// the word drops by 0x0100 and HC' = ~(~HC + ~m + m').
 func decrementTTL(data []byte) {
+	m := binary.BigEndian.Uint16(data[8:])
 	data[8]--
-	// Incremental checksum update (RFC 1141): TTL sits in the high byte of
-	// word 4; recompute the full header checksum for simplicity.
-	data[10], data[11] = 0, 0
-	sum := wire.Checksum(data[:wire.IPv4HeaderLen])
-	data[10], data[11] = byte(sum>>8), byte(sum)
+	m1 := binary.BigEndian.Uint16(data[8:])
+	hc := binary.BigEndian.Uint16(data[10:])
+	sum := uint32(^hc) + uint32(^m) + uint32(m1)
+	sum = sum&0xffff + sum>>16
+	sum = sum&0xffff + sum>>16
+	binary.BigEndian.PutUint16(data[10:], ^uint16(sum))
 }
 
 func (n *Net) notifyForward(sw topology.SwitchID, egress topology.LinkID, ip wire.IPv4, t ecmp.FiveTuple, seq uint32) {
@@ -391,7 +491,7 @@ func (n *Net) notifyForward(sw topology.SwitchID, egress topology.LinkID, ip wir
 }
 
 func (n *Net) notifyDrop(l topology.LinkID, data []byte) {
-	if len(n.taps) == 0 {
+	if len(n.taps) == 0 && len(n.dropTaps) == 0 {
 		return
 	}
 	var ip wire.IPv4
@@ -411,13 +511,58 @@ func (n *Net) notifyDrop(l topology.LinkID, data []byte) {
 	for _, tap := range n.taps {
 		tap(ev)
 	}
+	for _, tap := range n.dropTaps {
+		tap(ev)
+	}
 }
 
-// ICMPPerSecond returns every non-zero (switch, second) ICMP count.
+// countICMP advances a switch's live second counter, folding the finished
+// second into the bounded distribution state.
+func (n *Net) countICMP(sw topology.SwitchID, sec int64) {
+	cur := &n.icmpCur[sw]
+	if cur.sec != sec {
+		if cur.n > 0 {
+			n.foldICMPSecond(cur.n)
+		}
+		cur.sec = sec
+		cur.n = 0
+	}
+	cur.n++
+}
+
+// foldICMPSecond retires one finished (switch, second) count into the
+// aggregates and the bounded recent-history ring.
+func (n *Net) foldICMPSecond(c int32) {
+	if c > 3 {
+		n.icmpHigh++
+	} else {
+		n.icmpLow++
+	}
+	if int(c) > n.icmpMax {
+		n.icmpMax = int(c)
+	}
+	if len(n.icmpRing) < icmpRingCap {
+		n.icmpRing = append(n.icmpRing, c)
+	} else {
+		n.icmpRing[n.icmpPos] = c
+		n.icmpPos = (n.icmpPos + 1) % icmpRingCap
+	}
+}
+
+// ICMPPerSecond returns the non-zero (switch, second) ICMP counts the
+// fabric still tracks: every live per-switch counter plus a bounded ring
+// of the most recent icmpRingCap finished switch-seconds. The distribution
+// over the whole run is folded incrementally — see ICMPSecondStats — so
+// memory stays O(switches + ring) however long the run.
 func (n *Net) ICMPPerSecond() []int {
-	out := make([]int, 0, len(n.icmpPerSec))
-	for _, c := range n.icmpPerSec {
-		out = append(out, c)
+	out := make([]int, 0, len(n.icmpRing)+len(n.topo.Switches))
+	for _, c := range n.icmpRing {
+		out = append(out, int(c))
+	}
+	for i := range n.icmpCur {
+		if n.icmpCur[i].n > 0 {
+			out = append(out, int(n.icmpCur[i].n))
+		}
 	}
 	return out
 }
@@ -430,10 +575,14 @@ func (n *Net) ICMPSecondStats(seconds int64) (zero, low, high float64, max int) 
 	if total == 0 {
 		return 1, 0, 0, 0
 	}
-	var nLow, nHigh int64
-	for _, c := range n.icmpPerSec {
-		if c > max {
-			max = c
+	nLow, nHigh, maxC := n.icmpLow, n.icmpHigh, n.icmpMax
+	for i := range n.icmpCur {
+		c := int(n.icmpCur[i].n)
+		if c == 0 {
+			continue
+		}
+		if c > maxC {
+			maxC = c
 		}
 		if c > 3 {
 			nHigh++
@@ -441,6 +590,7 @@ func (n *Net) ICMPSecondStats(seconds int64) (zero, low, high float64, max int) 
 			nLow++
 		}
 	}
+	max = maxC
 	nZero := total - nLow - nHigh
 	return float64(nZero) / float64(total), float64(nLow) / float64(total),
 		float64(nHigh) / float64(total), max

@@ -52,7 +52,8 @@ func TestDeliveryAcrossFabric(t *testing.T) {
 	src := r.topo.HostAt(0, 0, 0)
 	dst := r.topo.HostAt(1, 2, 1)
 	var got []byte
-	r.net.OnHostPacket(dst, func(data []byte) { got = data })
+	// Host handlers borrow the pooled packet bytes; retaining needs a copy.
+	r.net.OnHostPacket(dst, func(data []byte) { got = append([]byte(nil), data...) })
 	pkt := tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40000, 443, 7, 64, 0)
 	r.net.SendFromHost(src, pkt)
 	r.sched.Drain(1000)
@@ -132,7 +133,7 @@ func TestTTLExpiryGeneratesICMP(t *testing.T) {
 	src := r.topo.HostAt(0, 0, 0)
 	dst := r.topo.HostAt(0, 5, 1)
 	var replies [][]byte
-	r.net.OnHostPacket(src, func(data []byte) { replies = append(replies, data) })
+	r.net.OnHostPacket(src, func(data []byte) { replies = append(replies, append([]byte(nil), data...)) })
 	// TTL=1 expires at the ToR; TTL=2 at the T1.
 	for ttl := uint8(1); ttl <= 2; ttl++ {
 		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40003, 443, 0, ttl, uint16(ttl)))
@@ -442,5 +443,103 @@ func TestApplySchedules(t *testing.T) {
 	}
 	if r.net.DropRate(a) != 1e-6 || r.net.DropRate(b) != 0 {
 		t.Fatalf("ClearSchedules did not restore baselines: %v/%v", r.net.DropRate(a), r.net.DropRate(b))
+	}
+}
+
+// The per-(switch, second) ICMP accounting must stay bounded however long
+// the run: the old map grew one entry per busy switch-second for the life
+// of the run, a leak on long scenario timelines. The folded distribution
+// must still match a brute-force tally of the same traffic.
+func TestICMPAccountingBounded(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 9)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	tor := r.topo.Hosts[src].ToR
+
+	// Drive one expiring probe per virtual second for far longer than the
+	// retained ring: every (tor, second) bucket holds exactly one message.
+	seconds := icmpRingCap + 500
+	for sec := 0; sec < seconds; sec++ {
+		r.net.SendFromHost(src, tcpPacket(r.topo.Hosts[src].IP, r.topo.Hosts[dst].IP, 40000, 443, 0, 1, 1))
+		r.sched.Drain(100)
+		r.sched.RunUntil(des.Time(sec+1) * des.Second)
+	}
+	if got := r.net.ICMPSent[tor]; got != int64(seconds) {
+		t.Fatalf("sent %d ICMP, want %d", got, seconds)
+	}
+	// Bounded: the retained history cannot exceed the ring plus the live
+	// per-switch counters.
+	if got := len(r.net.ICMPPerSecond()); got > icmpRingCap+len(r.topo.Switches) {
+		t.Fatalf("ICMP history grew to %d entries (ring cap %d)", got, icmpRingCap)
+	}
+	// The folded distribution still covers the whole run: every busy
+	// switch-second had exactly one message.
+	zero, low, high, max := r.net.ICMPSecondStats(int64(seconds))
+	if max != 1 || high != 0 {
+		t.Fatalf("distribution wrong: max=%d high=%v", max, high)
+	}
+	wantLow := float64(seconds) / float64(seconds*len(r.topo.Switches))
+	if diff := low - wantLow; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("low fraction %v, want %v", low, wantLow)
+	}
+	if zero+low+high < 0.999 || zero+low+high > 1.001 {
+		t.Fatalf("fractions don't sum to 1: %v %v %v", zero, low, high)
+	}
+}
+
+// The incremental TTL checksum patch (RFC 1624) must agree with a full
+// header recompute for every TTL and random header contents.
+func TestDecrementTTLMatchesRecompute(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for i := 0; i < 20000; i++ {
+		buf := wire.NewBuffer(64)
+		ip := wire.IPv4{
+			TOS: uint8(rng.Intn(256)), ID: uint16(rng.Intn(65536)),
+			TTL: uint8(rng.IntRange(2, 255)), Protocol: uint8(rng.Intn(256)),
+			Src: uint32(rng.Uint64()), Dst: uint32(rng.Uint64()),
+		}
+		ip.SerializeTo(buf)
+		data := buf.Bytes()
+		want := append([]byte(nil), data...)
+		want[8]--
+		want[10], want[11] = 0, 0
+		sum := wire.Checksum(want[:wire.IPv4HeaderLen])
+		want[10], want[11] = byte(sum>>8), byte(sum)
+		decrementTTL(data)
+		if data[10] != want[10] || data[11] != want[11] {
+			t.Fatalf("ttl %d: incremental %02x%02x, recompute %02x%02x",
+				ip.TTL+1, data[10], data[11], want[10], want[11])
+		}
+		if wire.Checksum(data[:wire.IPv4HeaderLen]) != 0 {
+			t.Fatalf("patched header does not verify")
+		}
+	}
+}
+
+// Packet buffers must actually recycle: a steady packet stream leaves the
+// pool at its high-water mark instead of growing, and a warmed fabric
+// forwards without allocating.
+func TestPacketPoolRecycles(t *testing.T) {
+	r := newRig(t, topology.TestClusterConfig, 12)
+	src := r.topo.HostAt(0, 0, 0)
+	dst := r.topo.HostAt(0, 5, 1)
+	delivered := 0
+	r.net.OnHostPacket(dst, func([]byte) { delivered++ })
+	send := func() {
+		pkt := r.net.NewPacket()
+		ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: r.topo.Hosts[src].IP, Dst: r.topo.Hosts[dst].IP}
+		tcp := wire.TCP{SrcPort: 40000, DstPort: 443, Flags: wire.FlagPSH | wire.FlagACK}
+		tcp.SerializeTo(pkt, &ip)
+		ip.SerializeTo(pkt)
+		r.net.Send(src, pkt)
+		r.sched.Drain(100)
+	}
+	send() // warm the pool and the scheduler lanes
+	avg := testing.AllocsPerRun(100, send)
+	if avg > 0 {
+		t.Fatalf("warmed forwarding allocates %.1f times per packet", avg)
+	}
+	if delivered < 100 {
+		t.Fatalf("delivered %d packets", delivered)
 	}
 }

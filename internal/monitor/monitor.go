@@ -20,10 +20,13 @@ type Agent struct {
 	// the links responsible for the delay.
 	RTTThresholdMicros int64
 
+	// The per-epoch maps are cleared — not reallocated — on epoch roll, so
+	// the agent's memory is bounded by its busiest epoch rather than
+	// growing with every flow the host ever carried.
 	epoch     int64
-	triggered map[ecmp.FiveTuple]int64 // flow → epoch of last trigger
-	retx      map[ecmp.FiveTuple]int   // flow → retransmissions this epoch
-	slow      map[ecmp.FiveTuple]bool  // flows over the RTT threshold
+	triggered map[ecmp.FiveTuple]bool // flows already traced this epoch
+	retx      map[ecmp.FiveTuple]int  // flow → retransmissions this epoch
+	slow      map[ecmp.FiveTuple]bool // flows over the RTT threshold
 }
 
 // New builds an agent; trigger is invoked (synchronously) the first time a
@@ -32,7 +35,7 @@ type Agent struct {
 func New(trigger func(flow ecmp.FiveTuple)) *Agent {
 	return &Agent{
 		trigger:   trigger,
-		triggered: make(map[ecmp.FiveTuple]int64),
+		triggered: make(map[ecmp.FiveTuple]bool),
 		retx:      make(map[ecmp.FiveTuple]int),
 		slow:      make(map[ecmp.FiveTuple]bool),
 	}
@@ -56,10 +59,10 @@ func (a *Agent) OnEvent(e etw.Event) {
 	default:
 		return
 	}
-	if a.triggered[e.Flow] == a.epoch+1 {
+	if a.triggered[e.Flow] {
 		return // already traced this epoch
 	}
-	a.triggered[e.Flow] = a.epoch + 1
+	a.triggered[e.Flow] = true
 	if a.trigger != nil {
 		a.trigger(e.Flow)
 	}
@@ -79,6 +82,7 @@ func (a *Agent) SlowFlows() int { return len(a.slow) }
 // trigger one more path discovery.
 func (a *Agent) NewEpoch() {
 	a.epoch++
-	a.retx = make(map[ecmp.FiveTuple]int)
-	a.slow = make(map[ecmp.FiveTuple]bool)
+	clear(a.triggered)
+	clear(a.retx)
+	clear(a.slow)
 }

@@ -12,6 +12,11 @@
 // Two rate limits protect the switch control planes (§4.1): the per-host
 // Ct bound from Theorem 1 enforced here, and the per-switch Tmax token
 // bucket enforced by the fabric.
+//
+// On the hot path the agent is allocation-free apart from the report it
+// emits: probes serialize into pooled packet buffers (Config.NewPacket /
+// SendPacket), trace state is recycled through a free list, and the probe
+// timeout is a typed DES event.
 package pathdisc
 
 import (
@@ -27,6 +32,10 @@ import (
 // switches, the paper sends 15 probes to be safe.
 const MaxTTL = 15
 
+// evFinish is the agent's typed DES event: a trace's probe timeout
+// expiring (payload = the trace).
+const evFinish int32 = 1
+
 // Config assembles an agent for one host.
 type Config struct {
 	Topo *topology.Topology
@@ -34,8 +43,14 @@ type Config struct {
 	// SLB resolves VIP flows to DIPs; may be nil when the workload
 	// addresses DIPs directly (infrastructure traffic).
 	SLB *slb.SLB
-	// Send injects a serialized probe onto the host's uplink.
+	// Send injects a serialized probe onto the host's uplink. Each probe
+	// is built into a fresh byte slice; prefer the pooled pair below on
+	// hot paths.
 	Send func(data []byte)
+	// NewPacket and SendPacket, when both set, replace Send: probes build
+	// into pooled wire buffers and SendPacket takes ownership of each.
+	NewPacket  func() *wire.Buffer
+	SendPacket func(pkt *wire.Buffer)
 	// Sched provides virtual time for probe timeouts and rate limiting.
 	Sched *des.Scheduler
 	// Ct is the host traceroute budget in traceroutes/second (Theorem 1);
@@ -67,10 +82,15 @@ type Agent struct {
 	epoch      int64
 	// cache remembers flows already traced this epoch ("the agent triggers
 	// path discovery for a given connection no more than once every
-	// epoch", §4.1).
-	cache map[ecmp.FiveTuple]int64
+	// epoch", §4.1). Cleared — not reallocated — on epoch roll, so its
+	// memory is bounded by the busiest epoch.
+	cache map[ecmp.FiveTuple]bool
 
 	pending map[probeKey]*trace
+	// freeTraces recycles trace state across discoveries.
+	freeTraces []*trace
+	// pathScratch is reused to assemble the answering-switch prefix.
+	pathScratch [MaxTTL + 1]topology.SwitchID
 
 	tokens     float64
 	lastRefill des.Time
@@ -92,10 +112,14 @@ type probeKey struct {
 }
 
 type trace struct {
-	flow  ecmp.FiveTuple // DIP-rewritten tuple actually probed
-	orig  ecmp.FiveTuple // as seen by TCP (may carry the VIP)
-	hops  [MaxTTL + 1]uint32
-	maxID int
+	flow ecmp.FiveTuple // DIP-rewritten tuple actually probed
+	orig ecmp.FiveTuple // as seen by TCP (may carry the VIP)
+	// flowID is resolved at Discover time, while the triggering flow is
+	// certainly still registered — by the probe timeout the epoch may have
+	// rolled and recycled the registry.
+	flowID int64
+	hops   [MaxTTL + 1]uint32
+	maxID  int
 }
 
 // New builds the agent.
@@ -108,7 +132,7 @@ func New(cfg Config) *Agent {
 	}
 	return &Agent{
 		cfg:     cfg,
-		cache:   make(map[ecmp.FiveTuple]int64),
+		cache:   make(map[ecmp.FiveTuple]bool),
 		pending: make(map[probeKey]*trace),
 		tokens:  cfg.Ct, // start with one second of budget
 	}
@@ -117,17 +141,17 @@ func New(cfg Config) *Agent {
 // NewEpoch resets the per-epoch trace cache.
 func (a *Agent) NewEpoch() {
 	a.epoch++
-	a.cache = make(map[ecmp.FiveTuple]int64)
+	clear(a.cache)
 }
 
 // Discover traces the path of flow (as seen by TCP, possibly VIP-bound).
 // It silently skips when the flow was already traced this epoch, the Ct
 // budget is exhausted, or the SLB query fails.
 func (a *Agent) Discover(flow ecmp.FiveTuple) {
-	if a.cache[flow] == a.epoch+1 {
+	if a.cache[flow] {
 		return
 	}
-	a.cache[flow] = a.epoch + 1
+	a.cache[flow] = true
 	if !a.allow() {
 		a.RateLimited++
 		return
@@ -145,20 +169,50 @@ func (a *Agent) Discover(flow ecmp.FiveTuple) {
 		probed.DstIP = a.cfg.Topo.Hosts[dip].IP
 	}
 	a.Traces++
-	tr := &trace{flow: probed, orig: flow}
+	tr := a.getTrace()
+	tr.flow = probed
+	tr.orig = flow
+	tr.flowID = -1
+	if a.cfg.FlowID != nil {
+		tr.flowID = a.cfg.FlowID(flow)
+	}
 	a.pending[probeKey{dst: probed.DstIP, srcPort: probed.SrcPort, dstPort: probed.DstPort}] = tr
+	pooled := a.cfg.NewPacket != nil && a.cfg.SendPacket != nil
 	for ttl := 1; ttl <= MaxTTL; ttl++ {
 		for i := 0; i < a.cfg.ProbesPerTTL; i++ {
-			a.cfg.Send(buildProbe(probed, uint8(ttl)))
+			if pooled {
+				pkt := a.cfg.NewPacket()
+				buildProbeInto(pkt, probed, uint8(ttl))
+				a.cfg.SendPacket(pkt)
+			} else {
+				a.cfg.Send(buildProbe(probed, uint8(ttl)))
+			}
 		}
 	}
-	a.cfg.Sched.After(a.cfg.ProbeTimeout, func() { a.finish(tr) })
+	a.cfg.Sched.PostAfter(a.cfg.ProbeTimeout, a, evFinish, 0, tr)
 }
 
-// buildProbe crafts one traceroute packet: the flow's five-tuple, the TTL
-// echoed in the IP ID, and a bad TCP checksum.
-func buildProbe(flow ecmp.FiveTuple, ttl uint8) []byte {
-	buf := wire.NewBuffer(wire.IPv4HeaderLen + wire.TCPHeaderLen)
+// getTrace produces zeroed trace state, recycling finished traces.
+func (a *Agent) getTrace() *trace {
+	if n := len(a.freeTraces); n > 0 {
+		tr := a.freeTraces[n-1]
+		a.freeTraces[n-1] = nil
+		a.freeTraces = a.freeTraces[:n-1]
+		*tr = trace{}
+		return tr
+	}
+	return &trace{}
+}
+
+// HandleEvent fires a trace's probe timeout (the agent's typed DES event).
+func (a *Agent) HandleEvent(kind int32, _ int64, p any) {
+	_ = kind // evFinish is the only kind the agent schedules
+	a.finish(p.(*trace))
+}
+
+// buildProbeInto crafts one traceroute packet into buf: the flow's
+// five-tuple, the TTL echoed in the IP ID, and a bad TCP checksum.
+func buildProbeInto(buf *wire.Buffer, flow ecmp.FiveTuple, ttl uint8) {
 	tcp := wire.TCP{
 		SrcPort: flow.SrcPort, DstPort: flow.DstPort,
 		Flags: wire.FlagACK, Window: 1, BadChecksum: true,
@@ -169,6 +223,12 @@ func buildProbe(flow ecmp.FiveTuple, ttl uint8) []byte {
 	}
 	tcp.SerializeTo(buf, &ip)
 	ip.SerializeTo(buf)
+}
+
+// buildProbe crafts one probe into a fresh byte slice (the Send fallback).
+func buildProbe(flow ecmp.FiveTuple, ttl uint8) []byte {
+	buf := wire.NewBuffer(wire.IPv4HeaderLen + wire.TCPHeaderLen)
+	buildProbeInto(buf, flow, ttl)
 	out := make([]byte, len(buf.Bytes()))
 	copy(out, buf.Bytes())
 	return out
@@ -199,7 +259,7 @@ func (a *Agent) HandleICMP(from uint32, ic *wire.ICMP) bool {
 	return true
 }
 
-// finish assembles the trace into a vote.Report.
+// finish assembles the trace into a vote.Report and recycles the trace.
 func (a *Agent) finish(tr *trace) {
 	delete(a.pending, probeKey{dst: tr.flow.DstIP, srcPort: tr.flow.SrcPort, dstPort: tr.flow.DstPort})
 	topo := a.cfg.Topo
@@ -211,7 +271,7 @@ func (a *Agent) finish(tr *trace) {
 		Retx:   1,
 	}
 	if a.cfg.FlowID != nil {
-		r.FlowID = a.cfg.FlowID(tr.orig)
+		r.FlowID = tr.flowID
 	}
 	if a.cfg.Retx != nil {
 		if n := a.cfg.Retx(tr.orig); n > 0 {
@@ -220,7 +280,7 @@ func (a *Agent) finish(tr *trace) {
 	}
 
 	// Contiguous prefix of answering hops.
-	var switches []topology.SwitchID
+	switches := a.pathScratch[:0]
 	for ttl := 1; ttl <= tr.maxID; ttl++ {
 		node, ok := topo.LookupIP(tr.hops[ttl])
 		if !ok || node.Kind != topology.NodeSwitch {
@@ -259,6 +319,7 @@ func (a *Agent) finish(tr *trace) {
 		r.Partial = true
 		a.PartialPaths++
 	}
+	a.freeTraces = append(a.freeTraces, tr)
 	if a.cfg.OnReport != nil {
 		a.cfg.OnReport(r)
 	}

@@ -1,0 +1,73 @@
+// Package prof wires the standard -cpuprofile / -memprofile flag pair
+// into the vigil command-line tools, so every driver of the hot paths
+// (vigil-sim, vigil-scenario, vigil-agents) can emit pprof data the same
+// way.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the profiling flags and the running CPU profile.
+type Profiler struct {
+	cpu, mem string
+	f        *os.File
+}
+
+// Register declares -cpuprofile and -memprofile on the default flag set;
+// call it before flag.Parse.
+func Register() *Profiler {
+	p := &Profiler{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&p.mem, "memprofile", "", "write a heap profile (at exit) to this file")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given; call after
+// flag.Parse.
+func (p *Profiler) Start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+// Stop flushes the CPU profile and, when -memprofile was given, writes a
+// heap profile after settling the GC. It never double-stops, so error
+// paths may call it unconditionally without discarding an already-written
+// CPU profile.
+func (p *Profiler) Stop() error {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		err := p.f.Close()
+		p.f = nil
+		if err != nil {
+			return err
+		}
+	}
+	if p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile shows retained state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -364,8 +364,47 @@ func (t *Topology) HostsUnderToR(sw SwitchID) []HostID {
 // LinksOfClass returns all links of the given class, in construction order.
 func (t *Topology) LinksOfClass(c LinkClass) []LinkID { return t.byClass[c] }
 
-// LookupIP resolves an address from the topology's address plan.
+// LookupIP resolves an address from the topology's address plan. The plan
+// is arithmetic (hosts at 10.pod.tor.(h+1), switch loopbacks in
+// 10.200-10.202), so the inverse is computed directly — this sits on the
+// packet fabric's per-hop path, where a map lookup per forwarded packet
+// is measurable. lookupIPSlow is the map-backed oracle the tests compare
+// against.
 func (t *Topology) LookupIP(ip uint32) (Node, bool) {
+	if ip>>24 != 10 {
+		return Node{}, false
+	}
+	b2 := int(ip>>16) & 0xff
+	b1 := int(ip>>8) & 0xff
+	b0 := int(ip) & 0xff
+	switch {
+	case b2 < t.Cfg.Pods:
+		// Host 10.pod.tor.(h+1).
+		if b1 >= t.Cfg.ToRsPerPod || b0 < 1 || b0 > t.Cfg.HostsPerToR {
+			return Node{}, false
+		}
+		return HostNode(HostID((b2*t.Cfg.ToRsPerPod+b1)*t.Cfg.HostsPerToR + b0 - 1)), true
+	case b2 == 200:
+		if b1 >= t.Cfg.Pods || b0 >= t.Cfg.ToRsPerPod {
+			return Node{}, false
+		}
+		return SwitchNode(t.tors[b1][b0]), true
+	case b2 == 201:
+		if b1 >= t.Cfg.Pods || b0 >= t.Cfg.T1PerPod {
+			return Node{}, false
+		}
+		return SwitchNode(t.t1s[b1][b0]), true
+	case b2 == 202:
+		if l := int(ip & 0xffff); l < len(t.t2s) {
+			return SwitchNode(t.t2s[l]), true
+		}
+	}
+	return Node{}, false
+}
+
+// lookupIPSlow is the address-plan map the topology was built with;
+// LookupIP must agree with it everywhere.
+func (t *Topology) lookupIPSlow(ip uint32) (Node, bool) {
 	n, ok := t.ipToNode[ip]
 	return n, ok
 }

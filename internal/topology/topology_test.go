@@ -279,3 +279,44 @@ func TestBuildPropertyQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The arithmetic LookupIP inverse must agree with the address-plan map it
+// replaced on the fabric's per-hop path: every assigned address resolves
+// identically, and a sweep of unassigned neighbours rejects identically.
+func TestLookupIPMatchesAddressPlan(t *testing.T) {
+	for _, cfg := range []Config{
+		TestClusterConfig,
+		DefaultSimConfig,
+		{Pods: 3, ToRsPerPod: 2, T1PerPod: 2, T2: 2, HostsPerToR: 3},
+	} {
+		topo, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(ip uint32) {
+			got, gok := topo.LookupIP(ip)
+			want, wok := topo.lookupIPSlow(ip)
+			if gok != wok || got != want {
+				t.Fatalf("cfg %+v ip %s: fast (%+v,%v) != map (%+v,%v)", cfg, FormatIP(ip), got, gok, want, wok)
+			}
+		}
+		for _, h := range topo.Hosts {
+			check(h.IP)
+		}
+		for _, sw := range topo.Switches {
+			check(sw.IP)
+		}
+		// Probe the plan's edges and beyond: off-by-one neighbours of every
+		// assigned block and foreign prefixes.
+		for _, h := range topo.Hosts {
+			check(h.IP + 1)
+			check(h.IP - 1)
+		}
+		for _, probe := range []uint32{
+			0, 1<<31 | 1, 11 << 24, 10<<24 | 199<<16, 10<<24 | 203<<16,
+			10<<24 | 200<<16 | 255<<8 | 255, 10<<24 | 202<<16 | 0xffff,
+		} {
+			check(probe)
+		}
+	}
+}

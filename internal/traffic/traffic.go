@@ -157,24 +157,24 @@ func DefaultWorkload() Workload {
 // ports and port 443, mirroring the storage-service traffic the paper
 // monitors.
 func (w Workload) Generate(rng *stats.RNG, topo *topology.Topology) []Flow {
-	srcs := w.sources(topo)
-	var flows []Flow
-	for _, src := range srcs {
-		flows = w.appendSourceFlows(flows, rng, topo, src)
-	}
-	return flows
+	return w.GenerateInto(nil, rng, topo)
 }
 
-// sources resolves the originating host set (all hosts unless restricted).
-func (w Workload) sources(topo *topology.Topology) []topology.HostID {
+// GenerateInto appends the epoch's flows to buf — the draw order, and so
+// the produced flow list, is exactly Generate's — reusing buf's capacity.
+// Callers that hand back the same buffer every epoch (the packet-plane
+// cluster) generate steady-state epochs without allocating.
+func (w Workload) GenerateInto(buf []Flow, rng *stats.RNG, topo *topology.Topology) []Flow {
 	if w.Hosts != nil {
-		return w.Hosts
+		for _, src := range w.Hosts {
+			buf = w.appendSourceFlows(buf, rng, topo, src)
+		}
+		return buf
 	}
-	srcs := make([]topology.HostID, len(topo.Hosts))
-	for i := range srcs {
-		srcs[i] = topology.HostID(i)
+	for i := range topo.Hosts {
+		buf = w.appendSourceFlows(buf, rng, topo, topology.HostID(i))
 	}
-	return srcs
+	return buf
 }
 
 // appendSourceFlows draws one source's epoch flows from rng. It allocates

@@ -95,6 +95,48 @@ func NewBuffer(headroom int) *Buffer {
 	return &Buffer{data: make([]byte, headroom), start: headroom}
 }
 
+// Reset empties the buffer in place, leaving room to prepend headroom
+// bytes. Capacity is retained, so a reset buffer serializes the next
+// packet without allocating.
+func (b *Buffer) Reset(headroom int) {
+	if cap(b.data) < headroom {
+		b.data = make([]byte, headroom)
+	}
+	b.data = b.data[:headroom]
+	b.start = headroom
+}
+
+// Pool is a free list of packet Buffers. The emulation is single-threaded
+// on virtual time, so the pool is deliberately lock-free and NOT safe for
+// concurrent use. Ownership is explicit: Get hands the caller an empty
+// buffer, and exactly one component must Put it back once the packet dies
+// (see the fabric's release rules).
+type Pool struct {
+	free []*Buffer
+}
+
+// Get returns an empty buffer with the given headroom, reusing a released
+// one when available.
+func (p *Pool) Get(headroom int) *Buffer {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.Reset(headroom)
+		return b
+	}
+	return NewBuffer(headroom)
+}
+
+// Put releases a buffer back to the pool. The caller must not touch b (or
+// any slice previously obtained from it) afterwards.
+func (p *Pool) Put(b *Buffer) {
+	p.free = append(p.free, b)
+}
+
+// Free returns the number of idle buffers in the pool.
+func (p *Pool) Free() int { return len(p.free) }
+
 // Bytes returns the serialized packet so far.
 func (b *Buffer) Bytes() []byte { return b.data[b.start:] }
 
@@ -165,6 +207,15 @@ func (t *TCP) SerializeTo(b *Buffer, ip *IPv4) {
 func (ic *ICMP) SerializeTo(b *Buffer) {
 	b.Prepend(len(ic.Body))
 	copy(b.Bytes(), ic.Body)
+	ic.SerializeHeaderTo(b)
+}
+
+// SerializeHeaderTo prepends just the 8-byte ICMP header over a body the
+// caller already placed in b, checksumming header plus body. It is the
+// allocation-free path for replies whose body is copied straight from the
+// packet being answered (see fabric's time-exceeded generation); Body is
+// ignored.
+func (ic *ICMP) SerializeHeaderTo(b *Buffer) {
 	h := b.Prepend(ICMPHeaderLen)
 	h[0] = ic.Type
 	h[1] = ic.Code
@@ -176,39 +227,46 @@ func (ic *ICMP) SerializeTo(b *Buffer) {
 
 // Checksum computes the RFC 1071 internet checksum of data.
 func Checksum(data []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(data); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	return ^fold(sumWords(0, data))
+}
+
+// sumWords accumulates data's big-endian 16-bit words onto acc without
+// folding: a uint64 holds the carries of any realistic packet, and reading
+// 32 bits per step (two words: the high half collects the even words, the
+// low half the odd ones) halves the loads on the per-hop header and
+// segment checksums.
+func sumWords(acc uint64, data []byte) uint64 {
+	for len(data) >= 4 {
+		acc += uint64(binary.BigEndian.Uint32(data))
+		data = data[4:]
 	}
-	if len(data)%2 == 1 {
-		sum += uint32(data[len(data)-1]) << 8
+	if len(data) >= 2 {
+		acc += uint64(binary.BigEndian.Uint16(data))
+		data = data[2:]
 	}
+	if len(data) == 1 {
+		acc += uint64(data[0]) << 8
+	}
+	return acc
+}
+
+// fold reduces an unfolded word sum to the 16-bit one's-complement total.
+func fold(acc uint64) uint16 {
+	// 32-bit reads leave even words in the high halves: fold 64→32, then
+	// carry-fold to 16 bits (the loop runs at most three times).
+	sum := acc>>32 + acc&0xffffffff
+	sum = sum>>32 + sum&0xffffffff
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
 	}
-	return ^uint16(sum)
+	return uint16(sum)
 }
 
 func tcpChecksum(segment []byte, src, dst uint32) uint16 {
-	var pseudo [12]byte
-	binary.BigEndian.PutUint32(pseudo[0:], src)
-	binary.BigEndian.PutUint32(pseudo[4:], dst)
-	pseudo[9] = ProtoTCP
-	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
-	var sum uint32
-	for i := 0; i < 12; i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(pseudo[i:]))
-	}
-	for i := 0; i+1 < len(segment); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(segment[i:]))
-	}
-	if len(segment)%2 == 1 {
-		sum += uint32(segment[len(segment)-1]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = sum&0xffff + sum>>16
-	}
-	return ^uint16(sum)
+	acc := uint64(src>>16) + uint64(src&0xffff) +
+		uint64(dst>>16) + uint64(dst&0xffff) +
+		uint64(ProtoTCP) + uint64(len(segment))
+	return ^fold(sumWords(acc, segment))
 }
 
 // Decoding errors.
