@@ -164,6 +164,66 @@ func BenchmarkClusterSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkEpochDatacenter is the scaling benchmark of the datacenter flow
+// plane: one full 007 cycle on the multi-cluster reference fabric —
+// 142,848 directed links, ~2.07M flows per epoch — fanned out over all
+// cores. This is the fused pipeline with nothing cached: every epoch
+// generates, routes and scores every flow.
+func BenchmarkEpochDatacenter(b *testing.B) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{
+		Topology:      vigil.DatacenterSimTopology.Flatten(),
+		Seed:          1,
+		TracerouteCap: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := sim.Topology().LinksOfClass(vigil.L1Up)[7]
+	if err := sim.InjectFailure(bad, 0.003); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sim.RunEpoch()
+		if rep.TotalFlows < 2_000_000 {
+			b.Fatalf("datacenter epoch ran only %d flows", rep.TotalFlows)
+		}
+	}
+}
+
+// BenchmarkEpochDatacenterDelta is the same datacenter fabric in
+// incremental mode: the flow set froze after a warmup epoch, and each
+// iteration changes one link's rate so the epoch re-scores only the flows
+// crossing it — the steady operating mode of a long-running datacenter
+// simulation, and the headline win of the delta engine over the full
+// pipeline above.
+func BenchmarkEpochDatacenterDelta(b *testing.B) {
+	sim, err := vigil.NewSimulation(vigil.SimConfig{
+		Topology:      vigil.DatacenterSimTopology.Flatten(),
+		Seed:          1,
+		TracerouteCap: 10,
+		Incremental:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := sim.Topology().LinksOfClass(vigil.L1Up)[7]
+	sim.RunEpoch() // warmup: full epoch, builds the delta cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate the rate so every iteration dirties the link and runs a
+		// real delta (an unchanged rate would be a no-op epoch).
+		rate := 0.003 + float64(i%2)*0.002
+		if err := sim.InjectFailure(bad, rate); err != nil {
+			b.Fatal(err)
+		}
+		rep := sim.RunEpoch()
+		if rep.TotalFlows < 2_000_000 {
+			b.Fatalf("datacenter delta epoch ran only %d flows", rep.TotalFlows)
+		}
+	}
+}
+
 func benchEpochAtParallelism(b *testing.B, parallelism int) {
 	b.Helper()
 	sim, err := vigil.NewSimulation(vigil.SimConfig{Seed: 1, Parallelism: parallelism})

@@ -119,6 +119,12 @@ type Config struct {
 	TracerouteCap int
 	// Seed drives every random choice of the engine.
 	Seed uint64
+	// Incremental enables the flow plane's datacenter-scale delta epochs:
+	// the epoch seed and flow set freeze after the first epoch and later
+	// epochs re-score only the flows whose paths touch links whose rates
+	// changed, with results bit-identical to full re-scoring of the frozen
+	// workload (see netem.Config.Incremental). The packet plane ignores it.
+	Incremental bool
 	// Parallelism is the flow plane's epoch worker count (0 = all cores);
 	// results are bit-identical at every setting. The packet plane ignores
 	// it: a DES replica is single-threaded by design, and parallelism comes
@@ -175,6 +181,7 @@ func newFlowEngine(cfg Config) (*flowEngine, error) {
 		TracerouteCap: cfg.TracerouteCap,
 		Seed:          cfg.Seed,
 		Parallelism:   cfg.Parallelism,
+		Incremental:   cfg.Incremental,
 	})
 	if err != nil {
 		return nil, err

@@ -19,13 +19,25 @@
 // into per-worker arenas, and all per-epoch scratch is owned by the Sim —
 // see DESIGN.md ("Hot-path memory model").
 //
-// Epochs run as a deterministic parallel pipeline: flows are split into
-// fixed-size chunks fanned out over Config.Parallelism workers, every flow
-// draws its drops from its own RNG stream derived from (epoch seed, flow
-// index), and each chunk accumulates ground truth into shard-local dense
-// counters that merge in chunk order at epoch close. Because no draw and no
-// reduction depends on worker interleaving, a seeded epoch is bit-identical
-// at any parallelism — see DESIGN.md ("Determinism contract").
+// Epochs run as a deterministic parallel pipeline fused end to end: sources
+// are split into chunks whose size depends only on the source count, and
+// each worker generates a source's flows and simulates them in the same
+// pass — the full flow list is never materialized. Every source generates
+// from its own (epoch seed, source index) RNG stream and every flow draws
+// its drops from its own (epoch seed, flow index) stream, with global flow
+// indexes prefix-summed from per-source counts before the fan-out. Ground
+// truth accumulates into shard-local dense counters merged over disjoint
+// link ranges in parallel, per-chunk outcome and report lists concatenate
+// in chunk order, and the traceroute budget resolves inside the shard loop
+// (a host's flows are contiguous in flow order, so the budget is
+// per-source-local). Because no draw and no reduction depends on worker
+// interleaving, a seeded epoch is bit-identical at any parallelism — see
+// DESIGN.md ("Determinism contract", "Scaling the flow plane").
+//
+// Config.Incremental adds the datacenter-scale delta mode: the flow set and
+// per-flow draw streams freeze after the first epoch, and later epochs
+// re-score only the flows whose paths touch links whose rates changed,
+// carrying every other flow's outcome forward — see incremental.go.
 package netem
 
 import (
@@ -36,6 +48,7 @@ import (
 	"vigil/internal/ecmp"
 	"vigil/internal/metrics"
 	"vigil/internal/par"
+	"vigil/internal/prof"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/traffic"
@@ -61,6 +74,16 @@ type Config struct {
 	// Epoch results are bit-identical at every setting — the knob trades
 	// cores for wall-clock only.
 	Parallelism int
+	// Incremental enables delta epochs for datacenter-scale topologies: the
+	// epoch seed and flow set freeze after the first epoch, and every later
+	// epoch re-scores only the flows whose paths touch links whose rates
+	// changed since the previous epoch (schedules, injections and clears all
+	// count), carrying the cached outcome of every untouched flow forward.
+	// Results are bit-identical to re-scoring all flows against the frozen
+	// draws (see RescoreAll and DESIGN.md "Scaling the flow plane"); the
+	// trade is O(flows + Σ path length) cache memory and epoch-to-epoch
+	// statistical independence, which a frozen workload no longer has.
+	Incremental bool
 }
 
 // Sim is a ready-to-run simulator. Failures are injected per directed link
@@ -89,12 +112,26 @@ type Sim struct {
 	epochIdx  int
 
 	// Per-epoch scratch, reused across RunEpoch calls (a Sim is not safe for
-	// concurrent RunEpoch anyway): worker shards, the per-chunk outcome
-	// table, the dense traceroute budget and the flow-generation buffers.
-	shards        []epochShard
-	failedByChunk [][]FlowOutcome
-	budget        []int32 // per-host traced-flow counts, dense by HostID
-	gen           traffic.GenScratch
+	// concurrent RunEpoch anyway): worker shards, the per-chunk outcome and
+	// report tables, the per-source flow-index bases, the dense traceroute
+	// budget and the cached dense source list.
+	shards         []epochShard
+	failedByChunk  [][]FlowOutcome
+	reportsByChunk [][]vote.Report
+	flowBase       []int32 // per-source global flow-index prefix sums
+	budget         []int32 // per-host traced-flow counts, dense by HostID
+	srcs           []topology.HostID
+
+	// budgetLocal marks that the traceroute budget can be resolved inside
+	// the shard loop: every source host appears exactly once, so a host's
+	// flows are contiguous in flow order and the first-Cap-failed-flows rule
+	// is per-source-local. It is false only for workloads that list the same
+	// host twice in Workload.Hosts, which fall back to the sequential
+	// post-pass.
+	budgetLocal bool
+
+	// inc is the incremental-delta state (Config.Incremental; incremental.go).
+	inc incState
 }
 
 // New builds a simulator, drawing per-link noise rates.
@@ -122,12 +159,29 @@ func New(cfg Config) (*Sim, error) {
 		failures: make(map[topology.LinkID]float64),
 		budget:   make([]int32, len(cfg.Topo.Hosts)),
 	}
+	s.budgetLocal = uniqueHosts(cfg.Workload.Hosts)
 	for i := range s.noise {
 		s.noise[i] = rng.Uniform(cfg.NoiseLo, cfg.NoiseHi)
 		s.rate[i] = s.noise[i]
 		s.logq[i] = math.Log1p(-s.noise[i])
 	}
 	return s, nil
+}
+
+// uniqueHosts reports whether no host appears twice in the source list; a
+// nil list means "every host once" and is trivially unique.
+func uniqueHosts(hosts []topology.HostID) bool {
+	if len(hosts) < 2 {
+		return true
+	}
+	seen := make(map[topology.HostID]struct{}, len(hosts))
+	for _, h := range hosts {
+		if _, dup := seen[h]; dup {
+			return false
+		}
+		seen[h] = struct{}{}
+	}
+	return true
 }
 
 // Topology returns the simulated topology.
@@ -137,8 +191,15 @@ func (s *Sim) Topology() *topology.Topology { return s.topo }
 func (s *Sim) Router() *ecmp.Router { return s.router }
 
 // setRate updates every per-link view of link l's drop rate: the effective
-// rate, the survival-gate log term and the dense failure flag.
+// rate, the survival-gate log term and the dense failure flag. When a live
+// delta cache exists, a change to either the rate (new draws) or the
+// failure flag (new CrossedFailure truth) marks the link dirty, scheduling
+// every flow whose path touches it for re-scoring next epoch.
 func (s *Sim) setRate(l topology.LinkID, rate float64, failed bool) {
+	if s.inc.valid && (s.rate[l] != rate || s.isFailed[l] != failed) && s.inc.linkStamp[l] != s.inc.round {
+		s.inc.linkStamp[l] = s.inc.round
+		s.inc.dirty = append(s.inc.dirty, l)
+	}
 	s.rate[l] = rate
 	s.logq[l] = math.Log1p(-rate)
 	s.isFailed[l] = failed
@@ -225,10 +286,41 @@ type Epoch struct {
 	TotalDrops   int
 }
 
-// flowChunk is the fan-out granularity of the epoch pipeline. Chunk
-// boundaries depend only on the flow count, never on the worker count, so
-// the chunk-ordered merge below reduces identically at any parallelism.
-const flowChunk = 1024
+// Fan-out granularities of the epoch pipeline, all chosen by par.Grain from
+// item counts alone (never the worker count) so chunk boundaries — and with
+// them the chunk-ordered merges — are identical at any parallelism.
+//
+//   - Source chunks drive the fused generate-and-simulate shard loop: the
+//     floor keeps test-sized topologies from sharding into per-host
+//     confetti, the ceiling keeps a datacenter epoch from concentrating
+//     into too few chunks to load-balance.
+//   - Link chunks drive the parallel merge of the per-worker dense drop
+//     counters over disjoint LinkID ranges; the floor keeps small
+//     topologies on a single inline chunk where the merge is a memcpy-rate
+//     scan.
+//   - Flow chunks drive the incremental delta re-score fan-out
+//     (incremental.go), whose items are individual affected flows.
+const (
+	srcGrainLo  = 16
+	srcGrainHi  = 2048
+	linkGrainLo = 4096
+	linkGrainHi = 1 << 16
+	flowGrainLo = 64
+	flowGrainHi = 8192
+	grainTarget = 64 // aim for ~64 chunks: headroom over any realistic core count
+)
+
+// Epoch phases for pprof attribution: a CPU profile of any epoch driver
+// (`go test -cpuprofile`, or -cpuprofile on a vigil tool) splits by
+// `pprof -tags` into count/shard/merge/delta. Workers spawned inside a
+// phase inherit its label; Begin/End themselves are allocation-free, which
+// keeps the zero-alloc steady-state epoch contract intact.
+var (
+	phaseCount = prof.NewPhase("count")
+	phaseShard = prof.NewPhase("shard")
+	phaseMerge = prof.NewPhase("merge")
+	phaseDelta = prof.NewPhase("delta")
+)
 
 // dropDomain separates the per-flow drop streams from the per-source
 // generation streams that share the epoch seed: DeriveRNG(epochSeed, si)
@@ -283,25 +375,92 @@ func (a *outcomeArena) copyDrops(src []uint16) []uint16 {
 }
 
 // epochShard accumulates one worker's slice of the epoch ground truth plus
-// the worker's reusable scratch (path buffer, per-flow RNG, outcome arena).
-// The counters are order-free integer sums, so one shard per *worker*
-// suffices (O(workers × links) memory, not O(chunks × links)); only the
-// per-chunk FlowOutcome lists are order-sensitive and those are keyed by
-// chunk. Padding keeps adjacent workers' hot counters off a shared cache
-// line.
+// the worker's reusable scratch (path buffer, per-flow and generation RNGs,
+// one-source flow buffer, outcome arena). The counters are order-free
+// integer sums, so one shard per *worker* suffices (O(workers × links)
+// memory, not O(chunks × links)); only the per-chunk FlowOutcome and Report
+// lists are order-sensitive and those are keyed by chunk. Padding keeps
+// adjacent workers' hot counters off a shared cache line.
 type epochShard struct {
 	drops   []int64 // dense by LinkID
 	packets int
 	dropped int
 	pathBuf ecmp.PathBuf
-	rng     stats.RNG
+	rng     stats.RNG // drop-stream generator, reseeded per dropping flow
+	genRNG  stats.RNG // generation-stream generator, reseeded per source
+	flowBuf []traffic.Flow
 	arena   outcomeArena
 	_       [64]byte
 }
 
+// sources resolves the epoch's originating hosts: Workload.Hosts when the
+// workload restricts them, otherwise every host, cached densely in s.srcs.
+func (s *Sim) sources() []topology.HostID {
+	if s.cfg.Workload.Hosts != nil {
+		return s.cfg.Workload.Hosts
+	}
+	if len(s.srcs) != len(s.topo.Hosts) {
+		s.srcs = make([]topology.HostID, len(s.topo.Hosts))
+		for i := range s.srcs {
+			s.srcs[i] = topology.HostID(i)
+		}
+	}
+	return s.srcs
+}
+
+// flowBases prefix-sums the per-source flow counts of the epoch into
+// s.flowBase: source si's flows occupy the global flow indexes
+// [flowBase[si], flowBase[si+1]), which is what lets workers generate and
+// simulate sources independently while drawing every flow's drops from the
+// same (epoch seed, flow index) stream the materializing pipeline would.
+// Constant-connection workloads — the benchmark and paper defaults — skip
+// the per-source count draws entirely; the bases are pure arithmetic.
+// Returns the epoch's total flow count.
+func (s *Sim) flowBases(epochSeed uint64, nsrc int) int {
+	if cap(s.flowBase) < nsrc+1 {
+		s.flowBase = make([]int32, nsrc+1)
+	}
+	s.flowBase = s.flowBase[:nsrc+1]
+	fb := s.flowBase
+	fb[0] = 0
+	w := s.cfg.Workload
+	if w.ConstantConns() {
+		c := w.ConnsPerHost.Lo
+		if c < 0 {
+			c = 0
+		}
+		for i := 1; i <= nsrc; i++ {
+			fb[i] = fb[i-1] + int32(c)
+		}
+		return int(fb[nsrc])
+	}
+	// Count in parallel (each source's count is the head draw of its private
+	// generation stream, so counting consumes nothing the generators need),
+	// then prefix-sum sequentially — a trivial scan even at datacenter scale.
+	par.ForEachChunk(nsrc, par.Grain(nsrc, srcGrainLo, srcGrainHi, grainTarget), s.cfg.Parallelism, func(_, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			n := w.FlowsOf(epochSeed, si)
+			if n < 0 {
+				n = 0
+			}
+			fb[si+1] = int32(n)
+		}
+	})
+	total := int64(0)
+	for i := 1; i <= nsrc; i++ {
+		total += int64(fb[i])
+		if total > math.MaxInt32 {
+			panic("netem: epoch flow count overflows int32 flow-index bases")
+		}
+		fb[i] = int32(total)
+	}
+	return int(total)
+}
+
 // epochScratch (re)sizes the Sim-owned shard and chunk scratch for an epoch
-// of nflows flows, zeroing the counters carried over from the last epoch.
-func (s *Sim) epochScratch(nflows int) (shards []epochShard, failedByChunk [][]FlowOutcome) {
+// of nchunks source chunks, zeroing the counters carried over from the last
+// epoch.
+func (s *Sim) epochScratch(nchunks int) (shards []epochShard, failedByChunk [][]FlowOutcome, reportsByChunk [][]vote.Report) {
 	nworkers := par.Workers(s.cfg.Parallelism)
 	if len(s.shards) != nworkers {
 		s.shards = make([]epochShard, nworkers)
@@ -317,51 +476,139 @@ func (s *Sim) epochScratch(nflows int) (shards []epochShard, failedByChunk [][]F
 		sh.packets, sh.dropped = 0, 0
 		sh.arena.reset()
 	}
-	nchunks := par.Chunks(nflows, flowChunk)
 	if cap(s.failedByChunk) < nchunks {
 		s.failedByChunk = make([][]FlowOutcome, nchunks)
+		s.reportsByChunk = make([][]vote.Report, nchunks)
 	}
 	// Clear through cap, not just nchunks: a shorter epoch must not leave
 	// stale tail entries pinning the previous epoch's outcomes and arena
 	// blocks.
 	clear(s.failedByChunk[:cap(s.failedByChunk)])
+	clear(s.reportsByChunk[:cap(s.reportsByChunk)])
 	s.failedByChunk = s.failedByChunk[:nchunks]
-	return s.shards, s.failedByChunk
+	s.reportsByChunk = s.reportsByChunk[:nchunks]
+	return s.shards, s.failedByChunk, s.reportsByChunk
 }
 
-// RunEpoch simulates one epoch: generate flows into the reusable scratch,
-// fan chunks out to workers that sample each flow from its own (epoch seed,
-// flow index) RNG stream, merge the shard-local counters in chunk order,
-// then apply the order-sensitive traceroute budget in a sequential
-// flow-order pass. Steady-state epochs (no failed flows) allocate O(1)
-// memory regardless of flow count.
+// RunEpoch simulates one epoch through the fused pipeline (runEpochFull) —
+// or, when Config.Incremental has a live cache, through the delta path that
+// re-scores only the flows touched by link-rate changes (incremental.go).
+// Steady-state epochs (no failed flows) allocate O(1) memory regardless of
+// flow count.
 func (s *Sim) RunEpoch() *Epoch {
 	// Settle scripted link rates for this epoch before any randomness is
 	// drawn or any worker starts (see schedule.go).
 	s.applySchedules()
 	s.epochIdx++
-	// One draw advances the per-epoch stream exactly like the old Split().
-	epochSeed := s.rng.Uint64()
-	flows := s.cfg.Workload.GenerateParallelInto(&s.gen, epochSeed, s.topo, s.cfg.Parallelism)
+	if s.cfg.Incremental {
+		if s.inc.valid {
+			return s.runEpochDelta()
+		}
+		if !s.inc.seeded {
+			// The one epoch-seed draw of the simulation: incremental mode
+			// freezes the workload, so every epoch re-scores the same flows
+			// against the same per-flow streams.
+			s.inc.epochSeed = s.rng.Uint64()
+			s.inc.seeded = true
+		}
+		return s.runEpochFull(s.inc.epochSeed, true)
+	}
+	// One draw per epoch advances the per-epoch stream.
+	return s.runEpochFull(s.rng.Uint64(), false)
+}
+
+// runEpochFull is the fused generate-and-simulate pipeline: prefix-sum the
+// per-source flow counts into global flow-index bases, fan source chunks
+// out to workers that generate each source's flows and simulate them in the
+// same pass (the full flow list is never materialized), then merge — shard
+// counters over disjoint link ranges in parallel, per-chunk outcome and
+// report lists concatenated in chunk order. The traceroute budget resolves
+// inside the shard loop: a host's flows are contiguous in flow order, so
+// the first-Cap-failed-flows rule is per-source-local whenever no host
+// appears twice in the source list (s.budgetLocal); the rare duplicate-host
+// workload falls back to the sequential post-pass.
+//
+// buildCache additionally records every flow and its resolved path into the
+// incremental-delta cache (incremental.go).
+func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
+	phaseCount.Begin()
+	srcs := s.sources()
+	nsrc := len(srcs)
+	total := s.flowBases(epochSeed, nsrc)
+	phaseCount.End()
+
 	nlinks := len(s.topo.Links)
 	ep := &Epoch{
 		LinkDrops:   make([]int64, nlinks),
 		FailedLinks: s.failedSnapshot(),
-		TotalFlows:  len(flows),
+		TotalFlows:  total,
 	}
-	shards, failedByChunk := s.epochScratch(len(flows))
-	par.ForEachChunkWorker(len(flows), flowChunk, s.cfg.Parallelism, func(w, c, lo, hi int) {
+	grain := par.Grain(nsrc, srcGrainLo, srcGrainHi, grainTarget)
+	nchunks := par.Chunks(nsrc, grain)
+	shards, failedByChunk, reportsByChunk := s.epochScratch(nchunks)
+	tcap := s.cfg.TracerouteCap
+	budgetInShard := tcap > 0 && s.budgetLocal
+	emitReports := tcap == 0 || s.budgetLocal
+	if buildCache {
+		s.inc.prepareBuild(nchunks, total)
+	}
+
+	phaseShard.Begin()
+	par.ForEachChunkWorker(nsrc, grain, s.cfg.Parallelism, func(w, c, lo, hi int) {
 		sh := &shards[w]
 		var failed []FlowOutcome
-		for fi := lo; fi < hi; fi++ {
-			failed = s.simFlow(sh, failed, epochSeed, int64(fi), flows[fi])
+		var reports []vote.Report
+		var lens []uint8
+		var clinks []topology.LinkID
+		if buildCache {
+			lens = s.inc.lensByChunk[c][:0]
+			clinks = s.inc.linksByChunk[c][:0]
+		}
+		for si := lo; si < hi; si++ {
+			buf := s.cfg.Workload.AppendFlowsOf(sh.flowBuf[:0], &sh.genRNG, epochSeed, si, s.topo, srcs[si])
+			sh.flowBuf = buf
+			base := int64(s.flowBase[si])
+			traced := 0
+			for j := range buf {
+				fi := base + int64(j)
+				out, failedFlow := s.simFlow(sh, epochSeed, fi, buf[j])
+				if buildCache {
+					links := sh.pathBuf.Links()
+					s.inc.flows[fi] = buf[j]
+					lens = append(lens, uint8(len(links)))
+					clinks = append(clinks, links...)
+				}
+				if !failedFlow {
+					continue
+				}
+				if budgetInShard {
+					if traced >= tcap {
+						out.Traced = false
+					} else {
+						traced++
+					}
+				}
+				if emitReports && out.Traced {
+					reports = append(reports, vote.Report{
+						FlowID: out.FlowID,
+						Src:    out.Flow.Src, Dst: out.Flow.Dst,
+						Path: out.Path,
+						Retx: out.Drops,
+					})
+				}
+				failed = append(failed, out)
+			}
 		}
 		failedByChunk[c] = failed
+		reportsByChunk[c] = reports
+		if buildCache {
+			s.inc.lensByChunk[c] = lens
+			s.inc.linksByChunk[c] = clinks
+		}
 	})
-	// Merge: integer counter sums are order-free across workers, and the
-	// per-chunk outcome lists concatenate in chunk order, restoring
-	// ascending flow-index order. Sizing happens in one pass up front so
-	// Failed and Reports never regrow.
+	phaseShard.End()
+
+	phaseMerge.Begin()
 	totalFailed := 0
 	for _, failed := range failedByChunk {
 		totalFailed += len(failed)
@@ -370,22 +617,66 @@ func (s *Sim) RunEpoch() *Epoch {
 		sh := &shards[w]
 		ep.TotalPackets += sh.packets
 		ep.TotalDrops += sh.dropped
-		for l, d := range sh.drops {
-			ep.LinkDrops[l] += d
-		}
 	}
+	// Dense counter merge: integer sums over disjoint link ranges are
+	// order-free, so the ranges fan out to workers; a single-worker epoch is
+	// a straight copy. Skipping zero entries keeps the merge read-dominated
+	// in the common all-but-quiet epoch.
+	if len(shards) == 1 {
+		copy(ep.LinkDrops, shards[0].drops)
+	} else {
+		par.ForEachChunk(nlinks, par.Grain(nlinks, linkGrainLo, linkGrainHi, grainTarget), s.cfg.Parallelism, func(_, lo, hi int) {
+			for w := range shards {
+				drops := shards[w].drops
+				for l := lo; l < hi; l++ {
+					if d := drops[l]; d != 0 {
+						ep.LinkDrops[l] += d
+					}
+				}
+			}
+		})
+	}
+	// Per-chunk outcome and report lists concatenate in chunk order,
+	// restoring ascending flow-index order. Sizing happens up front so
+	// Failed and Reports never regrow.
 	if totalFailed > 0 {
 		ep.Failed = make([]FlowOutcome, 0, totalFailed)
 		for _, failed := range failedByChunk {
 			ep.Failed = append(ep.Failed, failed...)
 		}
-		ep.Reports = make([]vote.Report, 0, totalFailed)
+		if emitReports {
+			nrep := 0
+			for _, reports := range reportsByChunk {
+				nrep += len(reports)
+			}
+			ep.Reports = make([]vote.Report, 0, nrep)
+			for _, reports := range reportsByChunk {
+				ep.Reports = append(ep.Reports, reports...)
+			}
+		} else {
+			ep.Reports = make([]vote.Report, 0, totalFailed)
+		}
 	}
-	// The traceroute budget is inherently sequential — whether flow i gets
-	// traced depends on how many earlier failed flows its host already
-	// traced — so it runs as a post-pass over the merged, ordered outcomes,
-	// counting per host in the Sim's dense reusable budget vector.
-	if s.cfg.TracerouteCap > 0 && totalFailed > 0 {
+	if !emitReports {
+		// Duplicate-host fallback: the budget is order-sensitive across the
+		// host's scattered flow blocks, so it runs as a sequential post-pass
+		// over the merged outcomes, counting per host in the dense reusable
+		// budget vector.
+		s.resolveBudget(ep)
+	}
+	phaseMerge.End()
+
+	if buildCache {
+		s.buildIncCache(ep)
+	}
+	return ep
+}
+
+// resolveBudget applies the traceroute budget to ep.Failed in flow order
+// and emits the reports of traced flows — the sequential resolution used by
+// duplicate-host workloads and by delta epochs (whose failed set is small).
+func (s *Sim) resolveBudget(ep *Epoch) {
+	if s.cfg.TracerouteCap > 0 && len(ep.Failed) > 0 {
 		clear(s.budget)
 	}
 	for i := range ep.Failed {
@@ -404,15 +695,15 @@ func (s *Sim) RunEpoch() *Epoch {
 			Retx: out.Drops,
 		})
 	}
-	return ep
 }
 
 // simFlow routes one flow and samples its drops into sh, drawing from the
 // flow's private RNG stream so the result is independent of which worker
-// runs it and in what order. A failed flow's outcome is appended to failed
-// (the caller's per-chunk list) and the grown list returned. The
-// steady-state path — flow survives — performs no heap allocation.
-func (s *Sim) simFlow(sh *epochShard, failed []FlowOutcome, epochSeed uint64, fi int64, f traffic.Flow) []FlowOutcome {
+// runs it and in what order. It returns the flow's outcome and whether the
+// flow lost packets; surviving flows — the overwhelming majority — return
+// a zero outcome and perform no heap allocation. On return sh.pathBuf still
+// holds the flow's resolved path (the cache build reads it).
+func (s *Sim) simFlow(sh *epochShard, epochSeed uint64, fi int64, f traffic.Flow) (FlowOutcome, bool) {
 	if err := s.router.PathInto(f.Src, f.Dst, f.Tuple, &sh.pathBuf); err != nil {
 		// Unreachable by construction; surface loudly if it happens.
 		panic(fmt.Sprintf("netem: routing %v: %v", f.Tuple, err))
@@ -420,12 +711,12 @@ func (s *Sim) simFlow(sh *epochShard, failed []FlowOutcome, epochSeed uint64, fi
 	links := sh.pathBuf.Links()
 	sh.packets += f.Packets
 	if f.Packets <= 0 {
-		return failed
+		return FlowOutcome{}, false
 	}
 	var perLink [ecmp.MaxPathLinks]uint16
 	drops := s.sampleFlowDrops(epochSeed, fi, &sh.rng, links, f.Packets, &perLink)
 	if drops == 0 {
-		return failed
+		return FlowOutcome{}, false
 	}
 	for li, l := range links {
 		if d := perLink[li]; d != 0 {
@@ -448,7 +739,7 @@ func (s *Sim) simFlow(sh *epochShard, failed []FlowOutcome, epochSeed uint64, fi
 			break
 		}
 	}
-	return append(failed, out)
+	return out, true
 }
 
 // sampleFlowDrops samples one flow's per-link drop vector into perLink and

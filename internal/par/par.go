@@ -32,6 +32,36 @@ func Chunks(n, size int) int {
 	return (n + size - 1) / size
 }
 
+// Grain picks a chunk size for fanning n items out. The result depends only
+// on n and the bounds — never on the worker count — so chunk boundaries
+// stay a pure function of the input size and the chunk-ordered merge stays
+// bit-identical at any parallelism.
+//
+// It aims for about target chunks (enough to load-balance any realistic
+// worker count with room for stragglers), clamped to [lo, hi]: the floor
+// keeps tiny runs from sharding into per-item confetti, the ceiling keeps
+// datacenter-scale runs from concentrating an epoch into so few chunks
+// that workers idle.
+func Grain(n, lo, hi, target int) int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if target < 1 {
+		target = 1
+	}
+	g := (n + target - 1) / target
+	if g < lo {
+		return lo
+	}
+	if g > hi {
+		return hi
+	}
+	return g
+}
+
 // ForEachChunk runs fn(chunk, lo, hi) for every fixed-size chunk of [0, n),
 // spread over at most workers goroutines. Chunk boundaries are a function of
 // n and size alone, so downstream per-chunk results can be merged in chunk

@@ -214,3 +214,33 @@ func TestForEachErrFailFast(t *testing.T) {
 		t.Fatalf("%d items ran after a fail-fast error at index %d", count, failAt)
 	}
 }
+
+func TestGrain(t *testing.T) {
+	cases := []struct {
+		n, lo, hi, target int
+		want              int
+	}{
+		{0, 16, 2048, 64, 16},         // empty input clamps to the floor
+		{100, 16, 2048, 64, 16},       // small n clamps to the floor
+		{6400, 16, 2048, 64, 100},     // exact target division
+		{6401, 16, 2048, 64, 101},     // rounds the chunk size up, never the count
+		{1 << 20, 16, 2048, 64, 2048}, // huge n clamps to the ceiling
+		{100, 0, 0, 0, 1},             // degenerate bounds normalize
+	}
+	for _, c := range cases {
+		if got := Grain(c.n, c.lo, c.hi, c.target); got != c.want {
+			t.Errorf("Grain(%d,%d,%d,%d) = %d, want %d", c.n, c.lo, c.hi, c.target, got, c.want)
+		}
+	}
+	// The determinism contract: the result is a pure function of the item
+	// count and bounds — identical however many workers will consume it.
+	for n := 0; n < 10_000; n += 37 {
+		g := Grain(n, 16, 2048, 64)
+		if g < 16 || g > 2048 {
+			t.Fatalf("Grain(%d) = %d escapes [16, 2048]", n, g)
+		}
+		if g != Grain(n, 16, 2048, 64) {
+			t.Fatalf("Grain(%d) is not deterministic", n)
+		}
+	}
+}

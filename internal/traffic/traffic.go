@@ -200,6 +200,39 @@ func (w Workload) appendSourceFlows(flows []Flow, rng *stats.RNG, topo *topology
 	return flows
 }
 
+// ConstantConns reports whether every source draws the same flow count, in
+// which case per-source flow counts — and so the global flow-index bases of
+// a fused generate-and-simulate pipeline — are pure arithmetic, no RNG
+// derivation needed.
+func (w Workload) ConstantConns() bool { return w.ConnsPerHost.Hi <= w.ConnsPerHost.Lo }
+
+// FlowsOf returns how many flows source index si contributes to the epoch
+// seeded by seed: the connection-count draw at the head of the source's
+// generation stream. It consumes nothing from any other stream, so callers
+// can prefix-sum per-source counts into global flow-index bases before a
+// single flow is generated — the counting pass of netem's fused epoch
+// pipeline.
+func (w Workload) FlowsOf(seed uint64, si int) int {
+	if w.ConstantConns() {
+		return w.ConnsPerHost.Lo
+	}
+	var rng stats.RNG
+	rng.Derive(seed, uint64(si))
+	return w.ConnsPerHost.Sample(&rng)
+}
+
+// AppendFlowsOf appends source index si's epoch flows to buf, drawing from
+// the same (seed, si) stream GenerateParallelInto derives, so a consumer
+// that generates source by source produces exactly the flow list the
+// materializing path would — grouped by source, in source order. rng is
+// caller-owned scratch, reseeded here; src is the originating host that
+// source index si resolves to. len(result)-len(buf) always equals
+// FlowsOf(seed, si).
+func (w Workload) AppendFlowsOf(buf []Flow, rng *stats.RNG, seed uint64, si int, topo *topology.Topology, src topology.HostID) []Flow {
+	rng.Derive(seed, uint64(si))
+	return w.appendSourceFlows(buf, rng, topo, src)
+}
+
 // srcChunk is the fan-out granularity of parallel generation: boundaries
 // depend only on the source count, so chunk-ordered concatenation yields
 // the same flow list at any worker count.

@@ -287,3 +287,34 @@ func TestGenerateParallelRespectsKnobs(t *testing.T) {
 		}
 	}
 }
+
+// FlowsOf and AppendFlowsOf are the counting and generating halves of the
+// fused epoch pipeline: source by source they must reproduce exactly the
+// flow list GenerateParallel materializes, and FlowsOf must predict each
+// source's contribution without consuming any generation draw.
+func TestFlowsOfAppendFlowsOfMatchGenerateParallel(t *testing.T) {
+	tp := topo(t)
+	for _, w := range []Workload{
+		{Pattern: Uniform{}, ConnsPerHost: IntRange{Lo: 10, Hi: 30}, PacketsPerFlow: IntRange{Lo: 50, Hi: 100}},
+		{Pattern: Uniform{}, ConnsPerHost: IntRange{Lo: 20, Hi: 20}, PacketsPerFlow: IntRange{Lo: 100, Hi: 100}},
+	} {
+		const seed = 321
+		want := w.GenerateParallel(seed, tp, 3)
+		var got []Flow
+		var rng stats.RNG
+		for si := 0; si < len(tp.Hosts); si++ {
+			n := w.FlowsOf(seed, si)
+			before := len(got)
+			got = w.AppendFlowsOf(got, &rng, seed, si, tp, topology.HostID(si))
+			if len(got)-before != n {
+				t.Fatalf("source %d: FlowsOf predicted %d flows, AppendFlowsOf produced %d", si, n, len(got)-before)
+			}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("source-by-source generation diverged from GenerateParallel (%d vs %d flows)", len(want), len(got))
+		}
+		if w.ConstantConns() != (w.ConnsPerHost.Lo == w.ConnsPerHost.Hi) {
+			t.Fatalf("ConstantConns misreports %+v", w.ConnsPerHost)
+		}
+	}
+}

@@ -49,6 +49,9 @@ type (
 	// TopologyConfig sizes a Clos in the paper's notation (npod, n0, n1,
 	// n2, H).
 	TopologyConfig = topology.Config
+	// DatacenterConfig sizes a multi-cluster Clos: groups of pods meshed
+	// through one shared global spine, the §7 deployment shape.
+	DatacenterConfig = topology.DatacenterConfig
 	// LinkID identifies a directed link.
 	LinkID = topology.LinkID
 	// LinkClass is a link's role (host-ToR, ToR-T1, T1-T2 and reverses).
@@ -149,8 +152,19 @@ var DefaultSimTopology = topology.DefaultSimConfig
 // physical links).
 var TestClusterTopology = topology.TestClusterConfig
 
+// DatacenterSimTopology is the reference multi-cluster datacenter fabric
+// (8 clusters × 3 pods, 34,560 hosts, 142,848 directed links) used by the
+// scaling benchmarks; pair it with SimConfig.Incremental.
+var DatacenterSimTopology = topology.DatacenterSimConfig
+
 // NewTopology builds a Clos topology.
 func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
+
+// NewDatacenterTopology builds a multi-cluster Clos fabric; the result is
+// an ordinary *Topology usable everywhere one is accepted.
+func NewDatacenterTopology(cfg DatacenterConfig) (*Topology, error) {
+	return topology.NewDatacenter(cfg)
+}
 
 // NewEmulation builds the packet-level plane. See EmulationConfig for the
 // knobs (Tmax, Ct, epoch length, host stack parameters).
@@ -197,6 +211,17 @@ type SimConfig struct {
 	// runtime.GOMAXPROCS(0). Epoch results are bit-identical at every
 	// setting — the knob only trades cores for wall-clock.
 	Parallelism int
+	// Incremental enables datacenter-scale delta epochs: the epoch seed and
+	// flow set freeze after the first epoch, and every later epoch
+	// re-scores only the flows whose paths touch links whose drop rates
+	// changed (schedules, injections and clears all count), carrying every
+	// untouched flow's outcome forward. Results are bit-identical to
+	// re-scoring the whole frozen workload each epoch; the trade is cache
+	// memory (every flow and its path) and epoch-to-epoch statistical
+	// independence, which a frozen workload no longer has. Meant for
+	// topologies like DatacenterSimTopology where full epochs are
+	// millions of flows.
+	Incremental bool
 }
 
 // Simulation is the flow-level plane: inject failures, run 30-second
@@ -227,6 +252,7 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 		TracerouteCap: cfg.TracerouteCap,
 		Seed:          cfg.Seed,
 		Parallelism:   cfg.Parallelism,
+		Incremental:   cfg.Incremental,
 		Detect:        cfg.Detect,
 	})
 	if err != nil {
