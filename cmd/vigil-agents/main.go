@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"vigil"
 	"vigil/internal/cluster"
 	"vigil/internal/prof"
+	"vigil/internal/runutil"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/vote"
@@ -80,7 +82,12 @@ func main() {
 		fmt.Printf("injected %.1f%% loss on %s\n", *rate*100, topo.LinkName(l))
 	}
 
-	for e := 0; e < *epochs; e++ {
+	// First Ctrl-C finishes the running epoch, then the defers flush the
+	// profile and close the collector cleanly; a second one force-kills.
+	ctx, stopSignals := runutil.SignalContext(context.Background())
+	defer stopSignals()
+
+	for e := 0; e < *epochs && ctx.Err() == nil; e++ {
 		em.StartWorkload(vigil.Workload{
 			Pattern:        vigil.UniformTraffic(),
 			ConnsPerHost:   vigil.IntRange{Lo: *conns, Hi: *conns},

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 
 	"vigil"
 	"vigil/internal/prof"
+	"vigil/internal/runutil"
 )
 
 // profiler is shared with fail so error exits still flush a running CPU
@@ -86,9 +88,18 @@ func main() {
 		names = strings.Split(*name, ",")
 	}
 
+	// First Ctrl-C finishes the current scenario, then exits cleanly with
+	// profiles flushed; a second one force-kills.
+	ctx, stopSignals := runutil.SignalContext(context.Background())
+	interrupted := false
+runs:
 	for _, n := range names {
 		n = strings.TrimSpace(n)
 		for _, pl := range planes {
+			if ctx.Err() != nil {
+				interrupted = true
+				break runs
+			}
 			res, err := vigil.RunScenario(n, vigil.ScenarioConfig{
 				Seed:        *seed,
 				Epochs:      *epochs,
@@ -100,6 +111,10 @@ func main() {
 			}
 			render(n, res, *timeline)
 		}
+	}
+	stopSignals()
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "vigil-scenario: interrupted; remaining runs skipped")
 	}
 	if err := profiler.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "vigil-scenario:", err)

@@ -1,0 +1,172 @@
+// vigild is the always-on ingest daemon: it wraps the plane-agnostic
+// epoch engine behind the streaming ingest service (internal/ingest),
+// settling epochs on a watermark while surviving lossy, late, duplicated
+// and crashing agents, and exposes its counters on a Prometheus-style
+// /metrics endpoint.
+//
+// With the fault flags at zero the settled epochs are bit-identical to the
+// batch engine's; the fault flags inject seeded, reproducible chaos on the
+// agent→collector path to exercise (and observe, via /metrics) the
+// robustness machinery.
+//
+// Usage:
+//
+//	vigild -epochs 50                        # 50 epochs, flow plane, then exit
+//	vigild -epochs 0 -interval 500ms         # run until SIGINT
+//	vigild -plane packet -epochs 20
+//	vigild -drop 0.05 -duplicate 0.02 -retries 1
+//	vigild -listen 127.0.0.1:9007            # serve /metrics while running
+//
+// SIGINT or SIGTERM stops the epoch loop; every started epoch still
+// settles and the final counters are printed before exit. A second signal
+// force-kills.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"vigil/internal/engine"
+	"vigil/internal/ingest"
+	"vigil/internal/prof"
+	"vigil/internal/runutil"
+	"vigil/internal/scenario"
+	"vigil/internal/stats"
+	"vigil/internal/topology"
+)
+
+// profiler is shared with fail so error exits still flush a running CPU
+// profile.
+var profiler *prof.Profiler
+
+func fail(err error) {
+	if profiler != nil {
+		profiler.Stop()
+	}
+	fmt.Fprintln(os.Stderr, "vigild:", err)
+	os.Exit(1)
+}
+
+func main() {
+	plane := flag.String("plane", "flow", "evaluation plane: flow or packet")
+	epochs := flag.Int("epochs", 50, "epochs to run (0 = until SIGINT)")
+	seed := flag.Uint64("seed", 7, "engine seed")
+	failures := flag.Int("failures", 2, "failed links to inject")
+	rate := flag.Float64("rate", 0.05, "failed-link drop rate")
+	interval := flag.Duration("interval", 0, "wall-clock pacing between epochs (0 = back to back)")
+	grace := flag.Int("grace", 0, "watermark grace window in epochs (0 = default 2)")
+	retries := flag.Int("retries", 0, "max gap re-request rounds per epoch")
+	listen := flag.String("listen", "", "address for the /metrics endpoint (empty = off)")
+	quiet := flag.Bool("quiet", false, "suppress per-epoch lines")
+
+	faultSeed := flag.Uint64("fault-seed", 1, "fault layer seed")
+	drop := flag.Float64("drop", 0, "report drop probability")
+	duplicate := flag.Float64("duplicate", 0, "report duplicate probability")
+	delay := flag.Float64("delay", 0, "report delay probability")
+	delayMax := flag.Int("delay-max", 2, "max delay in epochs")
+	burst := flag.Float64("burst", 0, "per-agent-epoch burst-loss probability")
+	crash := flag.Float64("crash", 0, "per-agent-epoch crash probability")
+
+	profiler = prof.Register()
+	flag.Parse()
+
+	if err := profiler.Start(); err != nil {
+		fail(err)
+	}
+
+	pl := engine.Plane(*plane)
+	if !pl.Valid() {
+		fail(fmt.Errorf("unknown plane %q (want flow or packet)", *plane))
+	}
+	topoCfg := scenario.QuickTopo
+	if pl == engine.Packet {
+		topoCfg = scenario.PacketQuickTopo
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := engine.New(engine.Config{Plane: pl, Topo: topo, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	rng := stats.NewRNG(*seed + 3)
+	pool := topo.LinksOfClass(topology.L1Down)
+	for i := 0; i < *failures; i++ {
+		l := pool[rng.Intn(len(pool))]
+		if err := eng.InjectFailure(l, *rate); err != nil {
+			fail(err)
+		}
+		fmt.Printf("injected %.1f%% loss on %s\n", *rate*100, topo.LinkName(l))
+	}
+
+	svc, err := ingest.New(ingest.Config{
+		Engine:     eng,
+		Grace:      *grace,
+		MaxRetries: *retries,
+		Interval:   *interval,
+		Faults: ingest.FaultConfig{
+			Seed:      *faultSeed,
+			Drop:      *drop,
+			Duplicate: *duplicate,
+			Delay:     *delay,
+			DelayMax:  *delayMax,
+			Burst:     *burst,
+			Crash:     *crash,
+		},
+		Sink: func(res *engine.EpochResult) {
+			if *quiet {
+				return
+			}
+			fmt.Printf("epoch %4d settled: %4d reports, %d detected, %d verdicts\n",
+				res.Epoch, len(res.Reports), len(res.Detected), len(res.Verdicts))
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var metricsSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			svc.Counters().WritePrometheus(w)
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go metricsSrv.Serve(ln)
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	ctx, stopSignals := runutil.SignalContext(context.Background())
+	err = svc.Run(ctx, *epochs)
+	stopSignals()
+	if err == context.Canceled {
+		fmt.Fprintln(os.Stderr, "vigild: interrupted; pipeline drained")
+	} else if err != nil {
+		fail(err)
+	}
+	if metricsSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		metricsSrv.Shutdown(shutCtx)
+		cancel()
+	}
+
+	c := svc.Counters()
+	fmt.Printf("\nsettled %d epochs: received %d, accepted %d, duplicates %d, late %d (+%d past grace), lost %d, retries %d, recovered %d\n",
+		c.SettledEpochs.Load(), c.Received.Load(), c.Accepted.Load(),
+		c.Duplicates.Load(), c.Late.Load(), c.LateDropped.Load(),
+		c.Lost.Load(), c.Retries.Load(), c.Recovered.Load())
+	if err := profiler.Stop(); err != nil {
+		fail(err)
+	}
+}

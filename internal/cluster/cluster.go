@@ -129,6 +129,11 @@ type Cluster struct {
 	epochFirstFlow int
 	epochDrops     int
 	lastEpoch      EpochFrame
+	// agentSeq assigns each host agent's next report sequence number,
+	// dense by HostID, reset at every epoch roll — reports leave the
+	// cluster with the (agent, epoch, seq) identity streaming ingest keys
+	// gap detection and duplicate suppression on.
+	agentSeq []int32
 }
 
 // flowDropSet is one flow's per-link drop counts: an inline set sized for
@@ -224,6 +229,7 @@ func New(cfg Config) (*Cluster, error) {
 		failures:  make(map[topology.LinkID]float64),
 		flowIDs:   make(map[ecmp.FiveTuple]int64),
 		wireFlows: make(map[ecmp.FiveTuple]int32),
+		agentSeq:  make([]int32, len(cfg.Topo.Hosts)),
 	}
 	if cfg.NoiseHi > 0 {
 		// Baseline noise rates come from a stream derived from the seed, not
@@ -333,7 +339,15 @@ func (cl *Cluster) FailedLinks() []topology.LinkID {
 	return cl.failedSorted
 }
 
+// report stamps a host agent's report with its stable identity — the
+// reporting agent (Src), the current epoch, and the agent's next dense
+// sequence number — and hands it to the Reporter. Stamping here, at the
+// single choke point every report passes through, is what guarantees the
+// gap-free-per-(agent, epoch) invariant ingest relies on.
 func (cl *Cluster) report(r vote.Report) {
+	r.Epoch = int32(cl.epochIdx)
+	r.Seq = cl.agentSeq[r.Src]
+	cl.agentSeq[r.Src]++
 	if cl.Reporter != nil {
 		cl.Reporter(r)
 	}
@@ -539,6 +553,7 @@ func (cl *Cluster) captureEpochFrame() {
 	cl.lastEpoch = fr
 	cl.epochIdx++
 	cl.epochDrops = 0
+	clear(cl.agentSeq)
 	if cl.cfg.EphemeralFlows && cl.pendingStarts == 0 {
 		cl.recycleFlows()
 	} else {

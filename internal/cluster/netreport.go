@@ -18,7 +18,9 @@ import (
 // acknowledgement per report, which keeps epoch boundaries exact: when a
 // send returns, the collector has the report.
 
-// wireReport is the on-the-wire form of vote.Report.
+// wireReport is the on-the-wire form of vote.Report. Epoch and seq carry
+// the report's stable identity so a streaming collector can detect gaps
+// and suppress duplicates per agent.
 type wireReport struct {
 	FlowID  int64   `json:"flow_id"`
 	Src     int32   `json:"src"`
@@ -26,12 +28,14 @@ type wireReport struct {
 	Path    []int32 `json:"path"`
 	Retx    int     `json:"retx"`
 	Partial bool    `json:"partial,omitempty"`
+	Epoch   int32   `json:"epoch"`
+	Seq     int32   `json:"seq"`
 }
 
 func toWire(r vote.Report) wireReport {
 	w := wireReport{
 		FlowID: r.FlowID, Src: int32(r.Src), Dst: int32(r.Dst),
-		Retx: r.Retx, Partial: r.Partial,
+		Retx: r.Retx, Partial: r.Partial, Epoch: r.Epoch, Seq: r.Seq,
 	}
 	w.Path = make([]int32, len(r.Path))
 	for i, l := range r.Path {
@@ -43,7 +47,7 @@ func toWire(r vote.Report) wireReport {
 func fromWire(w wireReport) vote.Report {
 	r := vote.Report{
 		FlowID: w.FlowID, Src: topology.HostID(w.Src), Dst: topology.HostID(w.Dst),
-		Retx: w.Retx, Partial: w.Partial,
+		Retx: w.Retx, Partial: w.Partial, Epoch: w.Epoch, Seq: w.Seq,
 	}
 	r.Path = make([]topology.LinkID, len(w.Path))
 	for i, l := range w.Path {

@@ -97,6 +97,19 @@ type Engine interface {
 	EpochIndex() int
 	// RunEpoch drives one epoch and returns its result.
 	RunEpoch() *EpochResult
+	// Step drives one epoch like RunEpoch but leaves 007's analysis to the
+	// caller — the feed seam of a streaming service, where the engine never
+	// stops and epochs settle downstream. Every report of the epoch is
+	// streamed through emit (if non-nil) as the plane produces it, in a
+	// deterministic but plane-specific order; the returned result carries
+	// the epoch's reports in canonical (agent, epoch, seq) order and its
+	// ground truth, with Ranking/Detected/Verdicts nil. Analyzing the
+	// returned reports with Analysis() reproduces RunEpoch bit for bit.
+	Step(emit func(vote.Report)) *EpochResult
+	// Analysis returns the options an external analyzer must use for its
+	// output on an epoch's canonical reports to be bit-identical with
+	// RunEpoch's.
+	Analysis() analysis.Options
 }
 
 // Config parametrizes an engine of either plane.
@@ -163,9 +176,8 @@ func New(cfg Config) (Engine, error) {
 // flowEngine adapts netem.Sim: simulate the epoch, then run the parallel
 // analysis pipeline over its reports.
 type flowEngine struct {
-	sim         *netem.Sim
-	detect      vote.DetectOptions
-	parallelism int
+	sim *netem.Sim
+	an  analysis.Options
 }
 
 func newFlowEngine(cfg Config) (*flowEngine, error) {
@@ -186,7 +198,10 @@ func newFlowEngine(cfg Config) (*flowEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &flowEngine{sim: sim, detect: cfg.Detect, parallelism: cfg.Parallelism}, nil
+	return &flowEngine{
+		sim: sim,
+		an:  analysis.Options{Detect: cfg.Detect, Parallelism: cfg.Parallelism},
+	}, nil
 }
 
 func (e *flowEngine) Plane() Plane                 { return Flow }
@@ -233,20 +248,45 @@ func (e *flowEngine) ClearAllFailures() { e.sim.ClearAllFailures() }
 func (e *flowEngine) ClearSchedules()   { e.sim.ClearSchedules() }
 func (e *flowEngine) EpochIndex() int   { return e.sim.EpochIndex() }
 
-func (e *flowEngine) RunEpoch() *EpochResult {
+func (e *flowEngine) Analysis() analysis.Options { return e.an }
+
+// Step simulates one epoch and streams its reports. The simulator emits
+// reports in (agent, seq) order already — sources ascend and one source's
+// flows are contiguous — so the canonical sort is a verification scan on
+// every workload without repeated hosts.
+func (e *flowEngine) Step(emit func(vote.Report)) *EpochResult {
 	epoch := e.sim.EpochIndex()
 	ep := e.sim.RunEpoch()
-	an := analysis.Analyze(ep.Reports, analysis.Options{Detect: e.detect, Parallelism: e.parallelism})
+	vote.SortCanonical(ep.Reports)
+	if emit != nil {
+		for _, r := range ep.Reports {
+			emit(r)
+		}
+	}
 	return &EpochResult{
 		Epoch:       epoch,
 		FailedLinks: ep.FailedLinks,
 		Reports:     ep.Reports,
-		Ranking:     an.Ranking,
-		Detected:    an.Detected,
-		Verdicts:    an.Verdicts,
 		Truth:       ep.Truth(),
 		TotalFlows:  ep.TotalFlows,
 		FailedFlows: len(ep.Failed),
 		TotalDrops:  ep.TotalDrops,
 	}
+}
+
+func (e *flowEngine) RunEpoch() *EpochResult {
+	return analyzeStep(e, e.Step(nil))
+}
+
+// analyzeStep completes a Step result into a RunEpoch result by running
+// the plane's analysis over the epoch's canonical reports — the single
+// settle path both planes and the streaming service share, which is what
+// makes "vigild's fault-free settled epochs are bit-identical to batch
+// RunEpoch" a structural property rather than a test-enforced one.
+func analyzeStep(e Engine, res *EpochResult) *EpochResult {
+	an := analysis.Analyze(res.Reports, e.Analysis())
+	res.Ranking = an.Ranking
+	res.Detected = an.Detected
+	res.Verdicts = an.Verdicts
+	return res
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"vigil/internal/analysis"
 	"vigil/internal/cluster"
 	"vigil/internal/des"
 	"vigil/internal/schedule"
@@ -29,14 +30,20 @@ const workloadSpread = 20 * des.Second
 
 // packetEngine adapts cluster.Cluster: every epoch it starts a fresh
 // workload, drives the DES to the epoch boundary (the cluster settles
-// scripted rates and rolls its ground-truth frame), and pairs the embedded
-// analysis agent's output with the frame.
+// scripted rates and rolls its ground-truth frame), then analyzes the
+// epoch's captured reports in canonical order and pairs the output with
+// the frame.
 type packetEngine struct {
 	cl       *cluster.Cluster
 	workload traffic.Workload
+	an       analysis.Options
 	// reports accumulates the epoch's reports via the cluster's Reporter
-	// hook, on top of the default in-process delivery to the analysis agent.
+	// hook; the engine analyzes them itself (in canonical order, through
+	// the same settle path as the flow plane and the streaming service)
+	// instead of using the cluster's embedded submission-order agent.
 	reports []vote.Report
+	// emit, when set by Step, sees each report live as the DES produces it.
+	emit func(vote.Report)
 }
 
 func newPacketEngine(cfg Config) (*packetEngine, error) {
@@ -55,14 +62,22 @@ func newPacketEngine(cfg Config) (*packetEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &packetEngine{cl: cl, workload: cfg.Workload}
+	e := &packetEngine{
+		cl:       cl,
+		workload: cfg.Workload,
+		an:       analysis.Options{Detect: cfg.Detect, Parallelism: cfg.Parallelism},
+	}
 	if e.workload.Pattern == nil {
 		e.workload = packetWorkloadDefault()
 	}
-	base := cl.Reporter
+	// Capture instead of forwarding to the cluster's embedded agent: the
+	// engine runs the analysis itself over the canonical report order, so
+	// the in-DES submission-order analysis would be dead work.
 	cl.Reporter = func(r vote.Report) {
 		e.reports = append(e.reports, r)
-		base(r)
+		if e.emit != nil {
+			e.emit(r)
+		}
 	}
 	return e, nil
 }
@@ -91,23 +106,34 @@ func (e *packetEngine) ClearAllFailures() {
 func (e *packetEngine) ClearSchedules() { e.cl.ClearSchedules() }
 func (e *packetEngine) EpochIndex() int { return e.cl.EpochIndex() }
 
-func (e *packetEngine) RunEpoch() *EpochResult {
+func (e *packetEngine) Analysis() analysis.Options { return e.an }
+
+// Step drives one epoch of the DES. emit sees each report live, in the
+// deterministic virtual-time order host agents submit them; the returned
+// result carries the same reports re-sorted into canonical (agent, epoch,
+// seq) order — on this plane that is a real sort, since virtual-time
+// submission interleaves agents.
+func (e *packetEngine) Step(emit func(vote.Report)) *EpochResult {
 	e.reports = e.reports[:0]
+	e.emit = emit
 	e.cl.StartWorkload(e.workload, workloadSpread)
-	res := e.cl.RunEpoch()
+	e.cl.RunEpoch() // embedded-agent result unused; reports analyzed at settle
+	e.emit = nil
 	fr := e.cl.LastEpoch()
 	reports := make([]vote.Report, len(e.reports))
 	copy(reports, e.reports)
+	vote.SortCanonical(reports)
 	return &EpochResult{
 		Epoch:       fr.Index,
 		FailedLinks: fr.FailedLinks,
 		Reports:     reports,
-		Ranking:     res.Ranking,
-		Detected:    res.Detected,
-		Verdicts:    res.Verdicts,
 		Truth:       fr.Truth,
 		TotalFlows:  fr.Flows,
 		FailedFlows: fr.FailedFlows,
 		TotalDrops:  fr.Drops,
 	}
+}
+
+func (e *packetEngine) RunEpoch() *EpochResult {
+	return analyzeStep(e, e.Step(nil))
 }

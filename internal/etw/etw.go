@@ -43,28 +43,51 @@ type Event struct {
 	Timeout bool
 }
 
-// Bus is a host-local event bus. Subscribing is expected at setup time;
-// publishing is hot-path and lock-free: the subscriber list is an atomic
-// copy-on-write snapshot, so a publish costs one atomic load (the
-// emulation publishes an RTT sample per received ACK). Safe for concurrent
-// use.
+// Bus is a host-local event bus. Subscribing and unsubscribing are
+// expected at setup/teardown time; publishing is hot-path and lock-free:
+// the subscriber list is an atomic copy-on-write snapshot, so a publish
+// costs one atomic load (the emulation publishes an RTT sample per
+// received ACK). Safe for concurrent use: a publish racing a subscription
+// change delivers to some consistent snapshot of the subscriber set.
 type Bus struct {
-	mu   sync.Mutex // serializes subscribers
-	subs atomic.Pointer[[]func(Event)]
+	mu   sync.Mutex // serializes subscriber-set changes
+	subs atomic.Pointer[[]*subscription]
 }
 
-// Subscribe registers fn for all future events.
-func (b *Bus) Subscribe(fn func(Event)) {
+// subscription wraps a handler so an active subscription has a stable
+// identity (funcs are not comparable) for unsubscribe to find.
+type subscription struct {
+	fn func(Event)
+}
+
+// Subscribe registers fn for all future events and returns the matching
+// unsubscribe. Unsubscribing is idempotent; after it returns, fn sees no
+// events from later Publish calls (a concurrent Publish that already
+// loaded its snapshot may still deliver one last event).
+func (b *Bus) Subscribe(fn func(Event)) (unsubscribe func()) {
+	s := &subscription{fn: fn}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var cur []func(Event)
+	var cur []*subscription
 	if p := b.subs.Load(); p != nil {
 		cur = *p
 	}
-	next := make([]func(Event), len(cur)+1)
+	next := make([]*subscription, len(cur)+1)
 	copy(next, cur)
-	next[len(cur)] = fn
+	next[len(cur)] = s
 	b.subs.Store(&next)
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		cur := *b.subs.Load()
+		next := make([]*subscription, 0, len(cur))
+		for _, o := range cur {
+			if o != s {
+				next = append(next, o)
+			}
+		}
+		b.subs.Store(&next)
+	}
 }
 
 // Publish delivers e to all subscribers synchronously, in subscription
@@ -74,7 +97,7 @@ func (b *Bus) Publish(e Event) {
 	if p == nil {
 		return
 	}
-	for _, fn := range *p {
-		fn(e)
+	for _, s := range *p {
+		s.fn(e)
 	}
 }

@@ -91,6 +91,88 @@ func TestSubscribeDuringPublish(t *testing.T) {
 	}
 }
 
+// Unsubscribe removes exactly its own subscription, preserves the order
+// of the rest, and is idempotent.
+func TestUnsubscribe(t *testing.T) {
+	var bus Bus
+	var got []string
+	unsubA := bus.Subscribe(func(Event) { got = append(got, "a") })
+	bus.Subscribe(func(Event) { got = append(got, "b") })
+	bus.Subscribe(func(Event) { got = append(got, "c") })
+	unsubA()
+	unsubA() // idempotent
+	bus.Publish(Event{Kind: Retransmit})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("delivery after unsubscribe = %v", got)
+	}
+}
+
+// Duplicate handlers are distinct subscriptions: unsubscribing one leaves
+// the other delivering.
+func TestUnsubscribeOneOfDuplicates(t *testing.T) {
+	var bus Bus
+	n := 0
+	fn := func(Event) { n++ }
+	unsub1 := bus.Subscribe(fn)
+	bus.Subscribe(fn)
+	unsub1()
+	bus.Publish(Event{Kind: Retransmit})
+	if n != 1 {
+		t.Fatalf("remaining duplicate saw %d events, want 1", n)
+	}
+}
+
+// The full churn mix — concurrent subscribe, publish and unsubscribe —
+// must stay race-free and never corrupt the subscriber set (the race job
+// runs this under -race). A permanent subscriber counts deliveries; the
+// churning subscriptions come and go around it.
+func TestConcurrentSubscribePublishUnsubscribe(t *testing.T) {
+	var bus Bus
+	var mu sync.Mutex
+	count := 0
+	bus.Subscribe(func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	const (
+		publishers = 4
+		churners   = 4
+		events     = 200
+		churns     = 50
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < events; j++ {
+				bus.Publish(Event{Kind: Retransmit})
+			}
+		}()
+	}
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < churns; j++ {
+				unsub := bus.Subscribe(func(Event) {})
+				unsub()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != publishers*events {
+		t.Fatalf("permanent subscriber saw %d events, want %d", count, publishers*events)
+	}
+	// After the churn, only the permanent subscriber remains.
+	before := count
+	bus.Publish(Event{Kind: Retransmit})
+	if count != before+1 {
+		t.Fatalf("post-churn publish delivered %d times, want 1", count-before)
+	}
+}
+
 // Late subscribers see only future events — the bus has no replay.
 func TestLateSubscriberSeesNoHistory(t *testing.T) {
 	var bus Bus

@@ -1,0 +1,408 @@
+// Package ingest is vigild's streaming boundary: a long-running service
+// that wraps an engine.Engine behind per-agent sequenced channels, settles
+// epochs on a watermark, and survives lossy, late, and lying agents.
+//
+// The pipeline has three stages connected by bounded channels:
+//
+//	source ──► lanes (fault layer, holdback) ──► collector ──► sink
+//
+// The source drives the engine one epoch (one "cycle") at a time through
+// the Step seam, routing each report to its agent's lane — an agent always
+// maps to the same lane, so per-agent FIFO order is a channel property.
+// After the epoch's reports it pushes one token per lane carrying the
+// epoch's per-agent expected report counts; tokens are reliable (the fault
+// layer never touches them), which is what turns "did everything arrive?"
+// into a local, per-agent comparison. Lanes apply the seeded fault layer
+// (faults.go) and hold delayed reports back until their release cycle. The
+// collector runs gap detection, duplicate suppression, the late-report
+// grace window, and bounded retry re-requests (fed back to the source
+// in-band with the lockstep cycle handshake), and settles epoch x when
+// every lane's token for cycle x+Grace has been processed — the watermark.
+// Settled epochs are analyzed over canonically sorted accepted reports
+// through the same engine.Analysis() options batch RunEpoch uses.
+//
+// Determinism: the source waits for the collector's end-of-cycle handshake
+// before starting the next epoch, every fault decision is a pure function
+// of report identity, and all collector state is per-(agent, epoch) — so
+// cross-agent arrival interleaving cannot change which reports settle into
+// which epoch, and a seeded chaos run's settled results and fault counters
+// are reproducible. With faults disabled the accepted set of each epoch is
+// exactly the engine's report set, making settled epochs bit-identical to
+// batch RunEpoch at any parallelism — the service's core contract.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vigil/internal/engine"
+	"vigil/internal/metrics"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+// Config parametrizes the service.
+type Config struct {
+	// Engine is the epoch driver; required. The service owns its epoch
+	// loop from Run on — inject failures and schedules before running.
+	Engine engine.Engine
+	// Grace is the watermark lag in epochs: epoch x settles once every
+	// lane's token for cycle x+Grace has been processed, so reports up to
+	// Grace epochs late still count. 0 means the default of 2.
+	Grace int
+	// Lanes is the number of per-agent FIFO lanes (agents hash onto
+	// lanes). 0 means the default of 4.
+	Lanes int
+	// LaneDepth and QueueDepth bound the source→lane and lane→collector
+	// channels; full channels exert backpressure all the way into the
+	// engine. 0 means 256 and 1024.
+	LaneDepth, QueueDepth int
+	// MaxRetries bounds gap re-requests per epoch; 0 disables retries
+	// (every injected drop becomes an observed loss — the configuration
+	// the fault-counter agreement tests use).
+	MaxRetries int
+	// RetryBackoff spaces successive re-requests of the same epoch, in
+	// epochs (linear backoff: attempt k waits 1 + (k-1)*RetryBackoff
+	// cycles). 0 means 1.
+	RetryBackoff int
+	// ShedPathsOnPressure enables graceful degradation: when the
+	// collector queue is full, a lane strips the report's traceroute path
+	// (the expensive payload) and delivers the bare vote with a blocking
+	// send — traceroute budget is shed before votes, and votes are never
+	// shed at all (only injected faults lose votes). Off by default
+	// because shedding depends on scheduling, which would break the
+	// fault-free bit-identical contract.
+	ShedPathsOnPressure bool
+	// Interval, when positive, paces the epoch loop on the wall clock —
+	// the live-service mode. Zero runs epochs back to back.
+	Interval time.Duration
+	// Faults configures the chaos layer; the zero value injects nothing.
+	Faults FaultConfig
+	// Sink receives each settled epoch, in epoch order, on the collector
+	// goroutine. Optional.
+	Sink func(*engine.EpochResult)
+	// Counters receives the service's observable state; one is allocated
+	// when nil. Read it live via Service.Counters.
+	Counters *metrics.IngestCounters
+}
+
+// itemKind tags pipeline items.
+type itemKind uint8
+
+const (
+	itemReport itemKind = iota
+	// itemToken marks the end of a cycle on a lane. Tokens are reliable
+	// and carry the cycle's per-agent expected counts for the lane's
+	// agents; a token with live=false is a drain cycle (no engine epoch).
+	itemToken
+)
+
+// item is one unit on a lane: a (possibly retried) report or a token.
+type item struct {
+	kind    itemKind
+	r       vote.Report
+	attempt uint8
+	delayed bool
+	cycle   int32
+	live    bool
+	counts  []agentCount
+}
+
+// agentCount is one agent's expected report count for one epoch.
+type agentCount struct {
+	agent topology.HostID
+	n     int32
+}
+
+// retryReq asks the source to retransmit one report.
+type retryReq struct {
+	id      vote.ReportID
+	attempt uint8
+}
+
+// cycleEnd is the collector→source lockstep handshake: the collector has
+// processed every lane's token for the cycle, and these re-requests are
+// due for retransmission next cycle.
+type cycleEnd struct {
+	cycle   int32
+	retries []retryReq
+}
+
+// Service is the running ingest pipeline. Build with New, drive with Run.
+type Service struct {
+	cfg      Config
+	eng      engine.Engine
+	ctr      *metrics.IngestCounters
+	grace    int
+	lanes    int
+	backoff  int
+	laneIn   []chan item
+	toCol    chan item
+	cycleEnd chan cycleEnd
+	laneWG   sync.WaitGroup // the lane goroutines; gates closing toCol
+	wg       sync.WaitGroup // the collector
+
+	// ring holds the last Grace+2 epochs' Step results: the collector
+	// reads ground truth from it at settle, the source re-reads reports
+	// from it for retransmissions. Synchronized by the token chain: entry
+	// e is written before cycle e's tokens and read only while e is
+	// within the watermark window.
+	ring []*engine.EpochResult
+
+	pendingRetries []retryReq
+	epochsRun      int
+}
+
+// New validates the configuration and builds a service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("ingest: Config.Engine is required")
+	}
+	if cfg.Grace < 0 || cfg.Lanes < 0 || cfg.MaxRetries < 0 || cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("ingest: negative Grace/Lanes/MaxRetries/RetryBackoff")
+	}
+	if cfg.Faults.Drop < 0 || cfg.Faults.Drop > 1 || cfg.Faults.Duplicate < 0 || cfg.Faults.Duplicate > 1 ||
+		cfg.Faults.Delay < 0 || cfg.Faults.Delay > 1 || cfg.Faults.Burst < 0 || cfg.Faults.Burst > 1 ||
+		cfg.Faults.Crash < 0 || cfg.Faults.Crash > 1 {
+		return nil, fmt.Errorf("ingest: fault probabilities must be in [0, 1]")
+	}
+	s := &Service{cfg: cfg, eng: cfg.Engine, ctr: cfg.Counters}
+	if s.ctr == nil {
+		s.ctr = &metrics.IngestCounters{}
+	}
+	s.grace = cfg.Grace
+	if s.grace == 0 {
+		s.grace = 2
+	}
+	s.lanes = cfg.Lanes
+	if s.lanes == 0 {
+		s.lanes = 4
+	}
+	s.backoff = cfg.RetryBackoff
+	if s.backoff == 0 {
+		s.backoff = 1
+	}
+	laneDepth := cfg.LaneDepth
+	if laneDepth == 0 {
+		laneDepth = 256
+	}
+	queueDepth := cfg.QueueDepth
+	if queueDepth == 0 {
+		queueDepth = 1024
+	}
+	s.laneIn = make([]chan item, s.lanes)
+	for i := range s.laneIn {
+		s.laneIn[i] = make(chan item, laneDepth)
+	}
+	s.toCol = make(chan item, queueDepth)
+	s.cycleEnd = make(chan cycleEnd, 1)
+	s.ring = make([]*engine.EpochResult, s.grace+2)
+	return s, nil
+}
+
+// Counters returns the live counters; safe to read while Run is active.
+func (s *Service) Counters() *metrics.IngestCounters { return s.ctr }
+
+// Run drives the service: epochs engine epochs (<= 0 means until ctx is
+// canceled), then a drain of Grace+DelayMax+1 empty cycles so every
+// holdback releases and every epoch settles through the normal watermark
+// machinery, then a clean stop. It blocks until the pipeline has fully
+// shut down; every started epoch is settled and delivered to the sink
+// before it returns. Returns ctx.Err when canceled early, nil otherwise.
+func (s *Service) Run(ctx context.Context, epochs int) error {
+	for i := range s.laneIn {
+		s.laneWG.Add(1)
+		go s.lane(i)
+	}
+	s.wg.Add(1)
+	go s.collector()
+
+	cycle := int32(0)
+	for (epochs <= 0 || int(cycle) < epochs) && ctx.Err() == nil {
+		if s.cfg.Interval > 0 && cycle > 0 {
+			select {
+			case <-time.After(s.cfg.Interval):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		s.emitRetries()
+		res := s.eng.Step(func(r vote.Report) { s.route(r, 0) })
+		s.ring[int(cycle)%len(s.ring)] = res
+		s.pushTokens(cycle, res.Reports, true)
+		ce := <-s.cycleEnd
+		s.pendingRetries = ce.retries
+		cycle++
+	}
+	s.epochsRun = int(cycle)
+
+	// Drain: enough empty cycles that every holdback's release cycle
+	// passes and the watermark crosses every started epoch. Retries still
+	// flow, so a gap detected in the final epoch gets its re-requests.
+	for d := 0; d < s.grace+s.cfg.Faults.delayMax()+1; d++ {
+		s.emitRetries()
+		s.pushTokens(cycle, nil, false)
+		ce := <-s.cycleEnd
+		s.pendingRetries = ce.retries
+		cycle++
+	}
+	for _, ch := range s.laneIn {
+		close(ch)
+	}
+	s.laneWG.Wait()
+	close(s.toCol)
+	s.wg.Wait()
+	return ctx.Err()
+}
+
+// laneOf maps an agent to its lane; stable, so per-agent order is FIFO.
+func (s *Service) laneOf(agent topology.HostID) int { return int(agent) % s.lanes }
+
+// route sends one transmission into its agent's lane. A full lane blocks —
+// backpressure propagates into the engine's emit callback.
+func (s *Service) route(r vote.Report, attempt uint8) {
+	s.laneIn[s.laneOf(r.Src)] <- item{kind: itemReport, r: r, attempt: attempt}
+}
+
+// emitRetries retransmits the re-requests the collector issued at the end
+// of the previous cycle, reading each report back from the ring.
+func (s *Service) emitRetries() {
+	for _, req := range s.pendingRetries {
+		if r, ok := s.lookup(req.id); ok {
+			s.route(r, req.attempt)
+		}
+	}
+	s.pendingRetries = nil
+}
+
+// lookup finds a report by identity in the ring's canonical report list.
+func (s *Service) lookup(id vote.ReportID) (vote.Report, bool) {
+	res := s.ring[int(id.Epoch)%len(s.ring)]
+	if res == nil || res.Epoch != int(id.Epoch) {
+		return vote.Report{}, false
+	}
+	rs := res.Reports
+	i := sort.Search(len(rs), func(i int) bool {
+		if rs[i].Src != id.Agent {
+			return rs[i].Src > id.Agent
+		}
+		return rs[i].Seq >= id.Seq
+	})
+	if i < len(rs) && rs[i].Src == id.Agent && rs[i].Seq == id.Seq {
+		return rs[i], true
+	}
+	return vote.Report{}, false
+}
+
+// pushTokens ends cycle c on every lane: per-agent expected counts split
+// by lane, computed from the epoch's canonical report list (agents are
+// contiguous runs).
+func (s *Service) pushTokens(cycle int32, reports []vote.Report, live bool) {
+	perLane := make([][]agentCount, s.lanes)
+	for i := 0; i < len(reports); {
+		j := i
+		for j < len(reports) && reports[j].Src == reports[i].Src {
+			j++
+		}
+		l := s.laneOf(reports[i].Src)
+		perLane[l] = append(perLane[l], agentCount{agent: reports[i].Src, n: int32(j - i)})
+		i = j
+	}
+	for l, ch := range s.laneIn {
+		ch <- item{kind: itemToken, cycle: cycle, live: live, counts: perLane[l]}
+	}
+}
+
+// heldItem is a delayed transmission parked in a lane until its release
+// cycle.
+type heldItem struct {
+	release int32
+	it      item
+}
+
+// lane is the fault-and-holdback stage for one shard of agents. All fault
+// decisions are pure functions of report identity (faults.go), so lanes
+// need no RNG state and runs are reproducible whatever the scheduler does.
+func (s *Service) lane(idx int) {
+	defer s.laneWG.Done()
+	var held []heldItem
+	for it := range s.laneIn[idx] {
+		if it.kind == itemToken {
+			held = s.releaseDue(held, it.cycle)
+			s.forward(it)
+			continue
+		}
+		ft := s.cfg.Faults.reportFate(it.r, int(it.attempt))
+		switch {
+		case ft.crashed:
+			s.ctr.InjCrashDrops.Add(1)
+		case ft.burst:
+			s.ctr.InjBurstDrops.Add(1)
+		case ft.dropped:
+			s.ctr.InjDrops.Add(1)
+		case ft.delay > 0:
+			if ft.delay <= s.grace {
+				s.ctr.InjLateInGrace.Add(1)
+			} else {
+				s.ctr.InjLatePastGrace.Add(1)
+			}
+			it.delayed = true
+			held = append(held, heldItem{release: it.r.Epoch + int32(ft.delay), it: it})
+		default:
+			s.forward(it)
+			if ft.duplicate {
+				s.ctr.InjDuplicates.Add(1)
+				s.forward(it)
+			}
+		}
+	}
+}
+
+// releaseDue forwards every holdback due by cycle c, in identity order so
+// the release sequence is deterministic, and returns the remaining held
+// items.
+func (s *Service) releaseDue(held []heldItem, c int32) []heldItem {
+	due := held[:0:0]
+	keep := held[:0]
+	for _, h := range held {
+		if h.release <= c {
+			due = append(due, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i].it.r, due[j].it.r
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		return vote.CanonicalLess(a, b)
+	})
+	for _, h := range due {
+		s.forward(h.it)
+	}
+	return keep
+}
+
+// forward hands an item to the collector. Under ShedPathsOnPressure a
+// full queue degrades gracefully: the traceroute path is stripped (and the
+// report marked partial) so the vote itself still goes through with a
+// blocking send — paths are shed before votes, votes never shed at all.
+func (s *Service) forward(it item) {
+	if it.kind == itemReport && s.cfg.ShedPathsOnPressure {
+		select {
+		case s.toCol <- it:
+			return
+		default:
+			s.ctr.ShedPaths.Add(1)
+			it.r.Path = nil
+			it.r.Partial = true
+		}
+	}
+	s.toCol <- it
+}

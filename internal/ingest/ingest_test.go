@@ -1,0 +1,396 @@
+package ingest
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vigil/internal/engine"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+// soakTopo is a deliberately small Clos so chaos runs settle hundreds of
+// epochs quickly; equivTopo matches the engine tests' flow fixture so the
+// bit-identical contract is exercised on a non-trivial report volume.
+var (
+	soakTopo  = topology.Config{Pods: 2, ToRsPerPod: 2, T1PerPod: 2, T2: 1, HostsPerToR: 2}
+	equivTopo = topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 4}
+)
+
+// newTestEngine builds an engine with one injected failure so every epoch
+// carries a real vote signal.
+func newTestEngine(t testing.TB, cfg engine.Config, topoCfg topology.Config, rate float64) engine.Engine {
+	t.Helper()
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topo = topo
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := eng.Topology().LinksOfClass(topology.L1Up)[0]
+	if err := eng.InjectFailure(link, rate); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// runService drives a service over n epochs and returns the settled
+// results in settle order.
+func runService(t testing.TB, cfg Config, n int) ([]*engine.EpochResult, *Service) {
+	t.Helper()
+	var settled []*engine.EpochResult
+	userSink := cfg.Sink
+	cfg.Sink = func(res *engine.EpochResult) {
+		settled = append(settled, res)
+		if userSink != nil {
+			userSink(res)
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	return settled, s
+}
+
+// The core contract: with faults disabled, vigild's settled epochs are
+// bit-identical to the batch engine's EpochResults — on both planes, at
+// Parallelism 1 and 8 (parallelism shards the flow plane's analysis
+// chunks; the packet plane ignores it by design).
+func TestFaultFreeBitIdentical(t *testing.T) {
+	for _, plane := range []engine.Plane{engine.Flow, engine.Packet} {
+		for _, par := range []int{1, 8} {
+			t.Run(string(plane)+"/par"+string(rune('0'+par)), func(t *testing.T) {
+				topoCfg := equivTopo
+				epochs := 5
+				if plane == engine.Packet {
+					topoCfg = topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 2}
+					if testing.Short() {
+						epochs = 3
+					}
+				}
+				cfg := engine.Config{Plane: plane, Seed: 7, Parallelism: par}
+				batch := newTestEngine(t, cfg, topoCfg, 0.02)
+				want := make([]*engine.EpochResult, epochs)
+				for i := range want {
+					want[i] = batch.RunEpoch()
+				}
+
+				eng := newTestEngine(t, cfg, topoCfg, 0.02)
+				got, _ := runService(t, Config{Engine: eng}, epochs)
+				if len(got) != epochs {
+					t.Fatalf("settled %d epochs, want %d", len(got), epochs)
+				}
+				for i, res := range got {
+					if !reflect.DeepEqual(res, want[i]) {
+						t.Fatalf("epoch %d: settled result diverged from batch RunEpoch", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// countingEngine counts every report its Step emits, giving the tests the
+// total offered load independently of the ingest counters under test.
+type countingEngine struct {
+	engine.Engine
+	emitted atomic.Int64
+}
+
+func (e *countingEngine) Step(emit func(vote.Report)) *engine.EpochResult {
+	return e.Engine.Step(func(r vote.Report) {
+		e.emitted.Add(1)
+		if emit != nil {
+			emit(r)
+		}
+	})
+}
+
+func (e *countingEngine) RunEpoch() *engine.EpochResult { panic("use Step") }
+
+// With retries disabled every injected fault maps to exactly one observed
+// counter; this is the counter algebra the ISSUE pins.
+func TestFaultCounterAgreement(t *testing.T) {
+	eng := &countingEngine{Engine: newTestEngine(t, engine.Config{Seed: 11}, soakTopo, 0.05)}
+	// Crash and burst draw their window start over a span much wider than
+	// these small agents' per-epoch report counts, so most windows miss;
+	// the hot probabilities make every injected counter move anyway.
+	faults := FaultConfig{
+		Seed:      99,
+		Drop:      0.05,
+		Duplicate: 0.04,
+		Delay:     0.06,
+		DelayMax:  4, // grace is 2, so delays split across the grace boundary
+		Burst:     0.1,
+		Crash:     0.2,
+	}
+	_, s := runService(t, Config{Engine: eng, Faults: faults, MaxRetries: 0}, 40)
+	c := s.Counters()
+
+	if got := c.SettledEpochs.Load(); got != 40 {
+		t.Fatalf("settled %d epochs, want 40", got)
+	}
+	for _, inj := range []struct {
+		name string
+		v    int64
+	}{
+		{"InjDrops", c.InjDrops.Load()},
+		{"InjDuplicates", c.InjDuplicates.Load()},
+		{"InjLateInGrace", c.InjLateInGrace.Load()},
+		{"InjLatePastGrace", c.InjLatePastGrace.Load()},
+		{"InjBurstDrops", c.InjBurstDrops.Load()},
+		{"InjCrashDrops", c.InjCrashDrops.Load()},
+	} {
+		if inj.v == 0 {
+			t.Errorf("%s = 0: the fault mix never exercised this fault", inj.name)
+		}
+	}
+	if got, want := c.Duplicates.Load(), c.InjDuplicates.Load(); got != want {
+		t.Errorf("Duplicates = %d, want InjDuplicates = %d", got, want)
+	}
+	if got, want := c.Late.Load(), c.InjLateInGrace.Load(); got != want {
+		t.Errorf("Late = %d, want InjLateInGrace = %d", got, want)
+	}
+	if got, want := c.LateDropped.Load(), c.InjLatePastGrace.Load(); got != want {
+		t.Errorf("LateDropped = %d, want InjLatePastGrace = %d", got, want)
+	}
+	// A past-grace report is lost to its epoch even though it physically
+	// arrived (and was counted LateDropped on arrival).
+	wantLost := c.InjDrops.Load() + c.InjBurstDrops.Load() + c.InjCrashDrops.Load() + c.InjLatePastGrace.Load()
+	if got := c.Lost.Load(); got != wantLost {
+		t.Errorf("Lost = %d, want InjDrops+InjBurstDrops+InjCrashDrops+InjLatePastGrace = %d", got, wantLost)
+	}
+	if c.Retries.Load() != 0 || c.Recovered.Load() != 0 {
+		t.Errorf("Retries/Recovered nonzero with MaxRetries = 0")
+	}
+	emitted := eng.emitted.Load()
+	if got := c.Accepted.Load() + c.Lost.Load(); got != emitted {
+		t.Errorf("conservation: Accepted+Lost = %d, want emitted = %d", got, emitted)
+	}
+	wantRecv := emitted - c.InjDrops.Load() - c.InjBurstDrops.Load() - c.InjCrashDrops.Load() + c.InjDuplicates.Load()
+	if got := c.Received.Load(); got != wantRecv {
+		t.Errorf("Received = %d, want emitted-lost+duplicated = %d", got, wantRecv)
+	}
+}
+
+// Retries re-request detected sequence gaps and recover dropped reports
+// before their epoch settles.
+func TestRetryRecovery(t *testing.T) {
+	eng := &countingEngine{Engine: newTestEngine(t, engine.Config{Seed: 3}, soakTopo, 0.05)}
+	_, s := runService(t, Config{
+		Engine:     eng,
+		Faults:     FaultConfig{Seed: 17, Drop: 0.2},
+		MaxRetries: 2,
+	}, 30)
+	c := s.Counters()
+	if c.Retries.Load() == 0 {
+		t.Fatal("no retries issued under 20% drop")
+	}
+	if c.Recovered.Load() == 0 {
+		t.Fatal("no reports recovered by retries")
+	}
+	if got, inj := c.Lost.Load(), c.InjDrops.Load(); got >= inj {
+		t.Fatalf("Lost = %d not reduced below injected drops = %d", got, inj)
+	}
+	if got := c.Accepted.Load() + c.Lost.Load(); got != eng.emitted.Load() {
+		t.Fatalf("conservation: Accepted+Lost = %d, want emitted = %d", got, eng.emitted.Load())
+	}
+}
+
+// The chaos soak the CI chaos-short step runs: a few hundred settled
+// epochs under combined faults, with bounded collector state, in-order
+// settle, and a clean shutdown. Run with -race.
+func TestChaosSoak(t *testing.T) {
+	eng := newTestEngine(t, engine.Config{Seed: 23, Incremental: true}, soakTopo, 0.05)
+	var (
+		nextEpoch int32
+		maxOpen   int64
+	)
+	cfg := Config{
+		Engine: eng,
+		Faults: FaultConfig{
+			Seed:      5,
+			Drop:      0.05,
+			Duplicate: 0.05,
+			Delay:     0.05,
+			DelayMax:  3,
+			Burst:     0.02,
+			Crash:     0.02,
+		},
+		MaxRetries: 1,
+	}
+	var s *Service
+	cfg.Sink = func(res *engine.EpochResult) {
+		if int32(res.Epoch) != nextEpoch {
+			t.Errorf("settled epoch %d out of order, want %d", res.Epoch, nextEpoch)
+		}
+		nextEpoch++
+		if open := s.Counters().OpenEpochs.Load(); open > maxOpen {
+			maxOpen = open
+		}
+	}
+	var err error
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), 300); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if got := c.SettledEpochs.Load(); got != 300 {
+		t.Fatalf("settled %d epochs, want 300", got)
+	}
+	// Bounded state: open epochs never exceed the watermark window, and the
+	// queues are empty once Run returns — no unbounded growth anywhere.
+	if bound := int64(s.grace + 2); maxOpen > bound {
+		t.Fatalf("open epochs peaked at %d, want <= %d", maxOpen, bound)
+	}
+	if got := c.QueueDepth.Load(); got != 0 {
+		t.Fatalf("queue depth %d after shutdown, want 0", got)
+	}
+	if c.Duplicates.Load() == 0 || c.Lost.Load() == 0 || c.Late.Load() == 0 {
+		t.Fatal("soak fault mix failed to exercise duplicates, loss and lateness")
+	}
+}
+
+// Seeded chaos is reproducible: two runs with the same seeds agree on
+// every fault-related counter and on what was detected.
+func TestChaosDeterministic(t *testing.T) {
+	type snapshot struct {
+		received, accepted, dups, late, lateDropped, lost, retries, recovered int64
+		detected                                                             []topology.LinkID
+	}
+	run := func() snapshot {
+		eng := newTestEngine(t, engine.Config{Seed: 31}, soakTopo, 0.05)
+		var detected []topology.LinkID
+		settled, s := runService(t, Config{
+			Engine:     eng,
+			Faults:     FaultConfig{Seed: 41, Drop: 0.1, Duplicate: 0.05, Delay: 0.05, DelayMax: 3},
+			MaxRetries: 1,
+		}, 20)
+		for _, res := range settled {
+			detected = append(detected, res.Detected...)
+		}
+		c := s.Counters()
+		return snapshot{
+			c.Received.Load(), c.Accepted.Load(), c.Duplicates.Load(), c.Late.Load(),
+			c.LateDropped.Load(), c.Lost.Load(), c.Retries.Load(), c.Recovered.Load(),
+			detected,
+		}
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded chaos runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// Canceling the context stops the epoch loop but still drains: every
+// started epoch settles before Run returns.
+func TestContextCancelCleanShutdown(t *testing.T) {
+	eng := newTestEngine(t, engine.Config{Seed: 13}, soakTopo, 0.05)
+	s, err := New(Config{Engine: eng, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := s.Run(ctx, 0); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	c := s.Counters()
+	if c.SettledEpochs.Load() == 0 {
+		t.Fatal("no epochs settled before cancel")
+	}
+	if got, want := c.SettledEpochs.Load(), int64(s.epochsRun); got != want {
+		t.Fatalf("settled %d epochs, want every started epoch (%d)", got, want)
+	}
+}
+
+// Graceful degradation sheds the traceroute payload — never the vote —
+// when the collector queue is full.
+func TestShedPathsOnPressure(t *testing.T) {
+	eng := newTestEngine(t, engine.Config{Seed: 1}, soakTopo, 0.05)
+	s, err := New(Config{Engine: eng, QueueDepth: 1, ShedPathsOnPressure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill the queue so the next forward must degrade.
+	s.toCol <- item{kind: itemReport}
+	done := make(chan item, 2)
+	go func() {
+		done <- <-s.toCol
+		done <- <-s.toCol
+	}()
+	r := vote.Report{Src: 1, Path: []topology.LinkID{1, 2, 3}, Epoch: 0, Seq: 0}
+	s.forward(item{kind: itemReport, r: r})
+	<-done
+	it := <-done
+	if got := s.Counters().ShedPaths.Load(); got != 1 {
+		t.Fatalf("ShedPaths = %d, want 1", got)
+	}
+	if it.r.Path != nil || !it.r.Partial {
+		t.Fatal("shed report kept its path or was not marked partial")
+	}
+	if it.r.Src != r.Src || it.r.Seq != r.Seq {
+		t.Fatal("shedding corrupted the vote itself")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := newTestEngine(t, engine.Config{Seed: 1}, soakTopo, 0.05)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil engine", Config{}},
+		{"negative grace", Config{Engine: eng, Grace: -1}},
+		{"drop out of range", Config{Engine: eng, Faults: FaultConfig{Drop: 1.5}}},
+		{"negative duplicate", Config{Engine: eng, Faults: FaultConfig{Duplicate: -0.1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatal("error not reported")
+			}
+		})
+	}
+}
+
+// Fault fates are pure functions of identity: recomputing a report's fate
+// gives the same answer, and attempt is part of the identity.
+func TestFaultFatePure(t *testing.T) {
+	f := FaultConfig{Seed: 77, Drop: 0.3, Duplicate: 0.2, Delay: 0.2, DelayMax: 3, Burst: 0.1, Crash: 0.1}
+	var differs bool
+	for agent := topology.HostID(0); agent < 8; agent++ {
+		for seq := int32(0); seq < 16; seq++ {
+			r := vote.Report{Src: agent, Epoch: 4, Seq: seq}
+			a, b := f.reportFate(r, 0), f.reportFate(r, 0)
+			if a != b {
+				t.Fatalf("fate of %v not reproducible: %+v vs %+v", r.ID(), a, b)
+			}
+			if a != f.reportFate(r, 1) {
+				differs = true
+			}
+			if ft := f.reportFate(r, 1); ft.delay != 0 {
+				t.Fatal("retransmission drew a delay; delays apply to first attempts only")
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("attempt number never changed any fate; it should be part of the identity")
+	}
+}

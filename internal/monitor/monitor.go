@@ -41,9 +41,11 @@ func New(trigger func(flow ecmp.FiveTuple)) *Agent {
 	}
 }
 
-// Attach subscribes the agent to a host event bus.
-func (a *Agent) Attach(bus *etw.Bus) {
-	bus.Subscribe(a.OnEvent)
+// Attach subscribes the agent to a host event bus and returns the
+// matching detach — the idle-host teardown path: a detached agent stops
+// consuming bus events without tearing down the bus's other subscribers.
+func (a *Agent) Attach(bus *etw.Bus) (detach func()) {
+	return bus.Subscribe(a.OnEvent)
 }
 
 // OnEvent handles one tracing event.

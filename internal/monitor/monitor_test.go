@@ -132,3 +132,68 @@ func TestRetxUnknownFlow(t *testing.T) {
 		t.Fatalf("Retx(unknown) = %d", got)
 	}
 }
+
+// Per-host isolation under concurrency: each host's agent on its own bus,
+// every host driven from its own goroutine — the deployment shape of the
+// emulation, where agents share nothing. The race job runs this under
+// -race; any accidental cross-agent state shows up as a data race or a
+// wrong count.
+func TestAgentsConcurrentPerHost(t *testing.T) {
+	const hosts, events = 8, 500
+	type hostState struct {
+		bus       etw.Bus
+		agent     *Agent
+		triggered int
+	}
+	states := make([]hostState, hosts)
+	done := make(chan int, hosts)
+	for h := range states {
+		h := h
+		st := &states[h]
+		st.agent = New(func(ecmp.FiveTuple) { st.triggered++ })
+		st.agent.Attach(&st.bus)
+		go func() {
+			for i := 0; i < events; i++ {
+				st.bus.Publish(etw.Event{Kind: etw.Retransmit, Flow: flow(uint16(1000 + i%5))})
+			}
+			st.agent.NewEpoch()
+			st.bus.Publish(etw.Event{Kind: etw.Retransmit, Flow: flow(1000)})
+			done <- h
+		}()
+	}
+	for range states {
+		<-done
+	}
+	for h := range states {
+		// 5 distinct flows trigger once each, plus one re-trigger after the
+		// epoch roll.
+		if got := states[h].triggered; got != 6 {
+			t.Fatalf("host %d triggered %d times, want 6", h, got)
+		}
+	}
+}
+
+// Attaching and detaching agents while another goroutine publishes must be
+// race-free on a shared bus (the publisher alone drives every attached
+// agent's handler, matching the bus's delivery contract).
+func TestAttachDetachDuringPublish(t *testing.T) {
+	var bus etw.Bus
+	permanent := New(nil)
+	permanent.Attach(&bus)
+	const events = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < events; i++ {
+			bus.Publish(etw.Event{Kind: etw.Retransmit, Flow: flow(uint16(i))})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		detach := New(nil).Attach(&bus)
+		detach()
+	}
+	<-done
+	if got := permanent.FlowsWithRetx(); got != events {
+		t.Fatalf("permanent agent saw %d flows, want %d", got, events)
+	}
+}

@@ -1,0 +1,82 @@
+package netem
+
+import (
+	"testing"
+
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+	"vigil/internal/vote"
+)
+
+// checkDenseSeqs asserts the invariant ingest's gap detection is built on:
+// within one epoch, each agent's reports carry sequences 0..k-1 in emission
+// order, and every report is stamped with the epoch it was emitted in.
+func checkDenseSeqs(t *testing.T, reports []vote.Report, epoch int32, nhosts int) {
+	t.Helper()
+	next := make([]int32, nhosts)
+	for i, r := range reports {
+		if r.Epoch != epoch {
+			t.Fatalf("report %d (agent %d): epoch stamp %d, want %d", i, r.Src, r.Epoch, epoch)
+		}
+		if r.Seq != next[r.Src] {
+			t.Fatalf("report %d: agent %d sequence gap: got seq %d, want %d", i, r.Src, r.Seq, next[r.Src])
+		}
+		next[r.Src]++
+	}
+}
+
+// The batch flow plane assigns dense, gap-free per-(agent, epoch)
+// sequences on every emission path: the in-shard budgeted path, the
+// uncapped path, and the incremental delta path.
+func TestFlowPlaneReportSequencesDense(t *testing.T) {
+	topo, err := topology.New(topology.Config{Pods: 2, ToRsPerPod: 6, T1PerPod: 4, T2: 4, HostsPerToR: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(tcap int, incremental bool, hosts []topology.HostID) *Sim {
+		s, err := New(Config{
+			Topo:    topo,
+			NoiseLo: 0, NoiseHi: 1e-5,
+			Workload: traffic.Workload{
+				Pattern:        traffic.Uniform{},
+				ConnsPerHost:   traffic.IntRange{Lo: 40, Hi: 40},
+				PacketsPerFlow: traffic.IntRange{Lo: 100, Hi: 100},
+				Hosts:          hosts,
+			},
+			TracerouteCap: tcap,
+			Seed:          23,
+			Parallelism:   4,
+			Incremental:   incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	nhosts := len(topo.Hosts)
+	bad := topo.LinksOfClass(topology.L1Up)[1]
+
+	run := func(name string, s *Sim) {
+		s.InjectFailure(bad, 0.03)
+		for e := 0; e < 3; e++ {
+			ep := s.RunEpoch()
+			if len(ep.Reports) == 0 {
+				t.Fatalf("%s epoch %d: no reports — the fixture is not exercising anything", name, e)
+			}
+			checkDenseSeqs(t, ep.Reports, int32(e), nhosts)
+		}
+	}
+	run("budgeted", mk(5, false, nil))
+	run("uncapped", mk(0, false, nil))
+	run("delta", mk(5, true, nil)) // epoch 0 builds the cache; 1..2 take the delta path
+
+	// Duplicate-host workloads scatter one agent's flows over several source
+	// slots, forcing the sequential restamp/resolve fallbacks — both the
+	// capped and uncapped variants.
+	dup := make([]topology.HostID, 0, 24)
+	for i := 0; i < 12; i++ {
+		dup = append(dup, topology.HostID(i), topology.HostID(i))
+	}
+	run("dup-hosts-capped", mk(5, false, dup))
+	run("dup-hosts-uncapped", mk(0, false, dup))
+}

@@ -549,6 +549,7 @@ func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
 	tcap := s.cfg.TracerouteCap
 	budgetInShard := tcap > 0 && s.budgetLocal
 	emitReports := tcap == 0 || s.budgetLocal
+	epoch := int32(s.epochIdx - 1)
 	if buildCache {
 		s.inc.prepareBuild(nchunks, total)
 	}
@@ -569,6 +570,11 @@ func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
 			sh.flowBuf = buf
 			base := int64(s.flowBase[si])
 			traced := 0
+			// Per-agent report sequence: one source's flows are contiguous,
+			// so counting emissions per source slot yields dense per-agent
+			// sequences whenever hosts are unique (the duplicate-host
+			// fallback restamps after the merge).
+			seq := int32(0)
 			for j := range buf {
 				fi := base + int64(j)
 				out, failedFlow := s.simFlow(sh, epochSeed, fi, buf[j])
@@ -592,9 +598,12 @@ func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
 					reports = append(reports, vote.Report{
 						FlowID: out.FlowID,
 						Src:    out.Flow.Src, Dst: out.Flow.Dst,
-						Path: out.Path,
-						Retx: out.Drops,
+						Path:  out.Path,
+						Retx:  out.Drops,
+						Epoch: epoch,
+						Seq:   seq,
 					})
+					seq++
 				}
 				failed = append(failed, out)
 			}
@@ -653,6 +662,18 @@ func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
 			for _, reports := range reportsByChunk {
 				ep.Reports = append(ep.Reports, reports...)
 			}
+			if !s.budgetLocal {
+				// Duplicate-host workload without a budget cap: a host's
+				// reports span several source slots, so the per-slot
+				// counters collide. Restamp densely per agent in merged
+				// (flow) order, reusing the budget vector as the counter.
+				clear(s.budget)
+				for i := range ep.Reports {
+					r := &ep.Reports[i]
+					r.Seq = s.budget[r.Src]
+					s.budget[r.Src]++
+				}
+			}
 		} else {
 			ep.Reports = make([]vote.Report, 0, totalFailed)
 		}
@@ -675,24 +696,29 @@ func (s *Sim) runEpochFull(epochSeed uint64, buildCache bool) *Epoch {
 // resolveBudget applies the traceroute budget to ep.Failed in flow order
 // and emits the reports of traced flows — the sequential resolution used by
 // duplicate-host workloads and by delta epochs (whose failed set is small).
+// The budget vector doubles as the per-agent sequence counter: only emitted
+// reports increment it, so sequences come out dense per (agent, epoch).
 func (s *Sim) resolveBudget(ep *Epoch) {
-	if s.cfg.TracerouteCap > 0 && len(ep.Failed) > 0 {
+	epoch := int32(s.epochIdx - 1)
+	tcap := s.cfg.TracerouteCap
+	if len(ep.Failed) > 0 {
 		clear(s.budget)
 	}
 	for i := range ep.Failed {
 		out := &ep.Failed[i]
-		if s.cfg.TracerouteCap > 0 {
-			if int(s.budget[out.Flow.Src]) >= s.cfg.TracerouteCap {
-				out.Traced = false
-				continue
-			}
-			s.budget[out.Flow.Src]++
+		if tcap > 0 && int(s.budget[out.Flow.Src]) >= tcap {
+			out.Traced = false
+			continue
 		}
+		seq := s.budget[out.Flow.Src]
+		s.budget[out.Flow.Src]++
 		ep.Reports = append(ep.Reports, vote.Report{
 			FlowID: out.FlowID,
 			Src:    out.Flow.Src, Dst: out.Flow.Dst,
-			Path: out.Path,
-			Retx: out.Drops,
+			Path:  out.Path,
+			Retx:  out.Drops,
+			Epoch: epoch,
+			Seq:   seq,
 		})
 	}
 }

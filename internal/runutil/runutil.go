@@ -1,0 +1,51 @@
+// Package runutil holds the small process-lifecycle helpers the vigil
+// binaries share — today, signal-driven shutdown contexts, so every
+// command flushes profiles and settles in-flight epochs on Ctrl-C instead
+// of dying mid-write.
+package runutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// exit is swapped out by tests; the second-signal path must be observable
+// without killing the test process.
+var exit = os.Exit
+
+// SignalContext returns a context canceled on the first SIGINT or SIGTERM,
+// giving the caller a graceful-shutdown window (stop the epoch loop, drain
+// the pipeline, flush profiles). A second signal exits the process
+// immediately with status 130 — the escape hatch when shutdown itself
+// wedges. stop releases the signal registration; call it once shutdown
+// completes so later signals regain their default behavior.
+func SignalContext(parent context.Context) (ctx context.Context, stop func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			exit(130)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package runutil
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSignalContextCancelsOnSIGINT(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after SIGINT")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	exit = func(code int) {
+		exited <- code
+		select {} // the real os.Exit never returns
+	}
+	defer func() { exit = func(int) {} }()
+
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	<-ctx.Done()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("exit code %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT did not force exit")
+	}
+}
+
+// stop must release the registration: a parent cancel path that never saw
+// a signal leaves no goroutine waiting on one.
+func TestStopReleasesRegistration(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

@@ -13,10 +13,12 @@
 package conform
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vigil/internal/engine"
+	"vigil/internal/ingest"
 	"vigil/internal/par"
 	"vigil/internal/scenario"
 	"vigil/internal/stats"
@@ -41,6 +43,12 @@ type Envelope struct {
 	Epochs int
 	// Z is the Wilson critical value; 0 means 2.576 (a 99% interval).
 	Z float64
+	// ReportLoss, when positive, routes every repetition through the
+	// streaming ingest service with this seeded report-drop probability on
+	// the agent→collector path (no retries) instead of the batch epoch
+	// loop — the degradation envelopes: how far do the paper-level metrics
+	// fall when this share of votes never reaches the analyzer?
+	ReportLoss float64
 
 	// MinPrecision/MinRecall bound Algorithm 1's pooled detection scores
 	// over active epochs; MinAccuracy bounds pooled per-flow attribution;
@@ -145,12 +153,21 @@ func Evaluate(env Envelope, parallelism int) (*Report, error) {
 	n := env.seeds()
 	results := make([]*scenario.Result, n)
 	err := par.ForEachErr(n, parallelism, func(i int) error {
-		res, err := scenario.Run(spec, scenario.Config{
+		cfg := scenario.Config{
 			Seed:        env.seedAt(i),
 			Epochs:      env.Epochs,
 			Plane:       env.Plane,
 			Parallelism: 1, // the seed sweep already saturates the pool
-		})
+		}
+		var (
+			res *scenario.Result
+			err error
+		)
+		if env.ReportLoss > 0 {
+			res, err = runDegraded(spec, cfg, env.ReportLoss)
+		} else {
+			res, err = scenario.Run(spec, cfg)
+		}
 		results[i] = res
 		return err
 	})
@@ -182,6 +199,36 @@ func Evaluate(env Envelope, parallelism int) (*Report, error) {
 		rep.Checks = append(rep.Checks, check("quiet-clean", quietClean, quiet, env.MinQuietClean, z))
 	}
 	return rep, nil
+}
+
+// lossDomain separates the degradation runs' fault seed from the scenario
+// seed it derives from.
+const lossDomain = 0x6a09e667f3bcc908
+
+// runDegraded drives one prepared scenario repetition through the
+// streaming ingest service with seeded report loss and no retries, scoring
+// the settled epochs through the same Scorer the batch loop uses. With
+// loss 0 this would reproduce scenario.Run bit for bit (the service's
+// fault-free contract); with loss > 0 the difference in the pooled
+// envelopes IS the measured degradation.
+func runDegraded(spec scenario.Spec, cfg scenario.Config, loss float64) (*scenario.Result, error) {
+	p, err := scenario.Prepare(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc := p.Scorer()
+	svc, err := ingest.New(ingest.Config{
+		Engine: p.Engine,
+		Faults: ingest.FaultConfig{Seed: cfg.Seed ^ lossDomain, Drop: loss},
+		Sink:   sc.Add,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Run(context.Background(), p.Epochs); err != nil {
+		return nil, err
+	}
+	return sc.Finish(), nil
 }
 
 // CrossReport pairs one scenario's conformance reports on the two planes.

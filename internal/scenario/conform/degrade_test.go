@@ -1,0 +1,76 @@
+package conform
+
+import "testing"
+
+// Degradation envelopes: the intermittent-failure scenario driven through
+// the streaming ingest service under seeded report loss. The paper argues
+// the voting scheme tolerates noise; these points measure it. Calibration
+// (8 seeds, quick topology): recall stays 1.0 at every loss point up to
+// 20% — a lost vote removes evidence but the surviving votes still
+// concentrate on the failed link — while precision erodes from ~0.66
+// fault-free to ~0.55 at 20% loss (noise links gain relative weight as
+// real votes thin out) and the verdict-considered count shrinks with the
+// lost reports. Bounds sit below those measurements with seed-noise
+// margin; recall is the headline claim and keeps the tight bound.
+var degradationEnvelopes = []Envelope{
+	{Scenario: "intermittent-failure", ReportLoss: 0.01, MinRecall: 0.95, MinPrecision: 0.45, MinAccuracy: 0.97},
+	{Scenario: "intermittent-failure", ReportLoss: 0.05, MinRecall: 0.95, MinPrecision: 0.45, MinAccuracy: 0.97},
+	{Scenario: "intermittent-failure", ReportLoss: 0.20, MinRecall: 0.95, MinPrecision: 0.35, MinAccuracy: 0.97},
+}
+
+// TestDegradationEnvelopes asserts ranking recall (and the secondary
+// metrics) hold their Wilson envelopes while 1%, 5% and 20% of reports
+// never reach the analyzer.
+func TestDegradationEnvelopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed statistical sweep; skipped in -short mode")
+	}
+	for _, env := range degradationEnvelopes {
+		env := env
+		t.Run(pct(env.ReportLoss), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Evaluate(env, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass() {
+				t.Fatalf("degradation envelope violated at %s loss:\n%s", pct(env.ReportLoss), rep)
+			}
+			t.Log("\n" + rep.String())
+		})
+	}
+}
+
+// Loss must actually bite: the degraded path is only a measurement if the
+// 20% run sees fewer verdict opportunities than the fault-free run.
+func TestDegradationLosesReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed statistical sweep; skipped in -short mode")
+	}
+	base := Envelope{Scenario: "intermittent-failure", Seeds: 3, MinAccuracy: 0.5}
+	lossy := base
+	lossy.ReportLoss = 0.20
+	a, err := Evaluate(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(lossy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checks[0].Trials <= b.Checks[0].Trials {
+		t.Fatalf("20%% report loss did not reduce scored flows: %d vs %d",
+			a.Checks[0].Trials, b.Checks[0].Trials)
+	}
+}
+
+func pct(p float64) string {
+	switch {
+	case p >= 0.20:
+		return "20pct"
+	case p >= 0.05:
+		return "5pct"
+	default:
+		return "1pct"
+	}
+}

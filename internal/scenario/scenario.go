@@ -156,11 +156,20 @@ func ratio(num, den int) float64 {
 	return float64(num) / float64(den)
 }
 
-// Run executes one scenario: build the topology, derive the workload and
-// script from the seed, construct the epoch engine for the chosen plane,
-// then drive, analyze and score Epochs rounds — one code path for both the
-// flow-level simulator and the packet-level cluster emulation.
-func Run(spec Spec, cfg Config) (*Result, error) {
+// Prepared is a scenario built and scripted but not yet driven: the epoch
+// engine with every schedule attached, ready for any driver — Run's batch
+// loop, or a streaming service that settles the same engine's epochs
+// downstream (internal/ingest).
+type Prepared struct {
+	Name   string
+	Plane  engine.Plane
+	Epochs int
+	Engine engine.Engine
+}
+
+// Prepare builds a scenario run up to (but not including) its first epoch:
+// topology, workload, engine, validated script.
+func Prepare(spec Spec, cfg Config) (*Prepared, error) {
 	plane := cfg.Plane
 	if plane == "" {
 		plane = spec.Plane
@@ -228,43 +237,82 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("scenario %q: link %d: %w", spec.Name, ls.Link, err)
 		}
 	}
+	return &Prepared{Name: spec.Name, Plane: plane, Epochs: epochs, Engine: eng}, nil
+}
 
-	res := &Result{Name: spec.Name, Plane: plane, Epochs: make([]EpochScore, 0, epochs)}
-	for e := 0; e < epochs; e++ {
-		er := eng.RunEpoch()
-		score := metrics.ScoreVerdicts(er.Verdicts, er.Truth)
-		det := metrics.ScoreDetection(er.Detected, er.FailedLinks)
-		active := make([]topology.LinkID, len(er.FailedLinks))
-		copy(active, er.FailedLinks)
-		es := EpochScore{
-			Epoch:       e,
-			ActiveLinks: active,
-			Detected:    er.Detected,
-			Detection:   det,
-			Accuracy:    score.Accuracy(),
-			FlowsScored: score.Considered,
-			FailedFlows: er.FailedFlows,
-			TotalDrops:  er.TotalDrops,
-		}
-		res.Epochs = append(res.Epochs, es)
-		if len(active) > 0 {
-			res.ActiveEpochs++
-			res.TruePos += det.TruePos
-			res.FalsePos += det.FalsePos
-			res.FalseNeg += det.FalseNeg
-		} else {
-			res.QuietEpochs++
-			if len(er.Detected) == 0 {
-				res.QuietClean++
-			}
-		}
-		res.Correct += score.Correct
-		res.Considered += score.Considered
+// Scorer folds a run's EpochResults into a Result — the scoring half of
+// Run, split out so any epoch driver (the batch loop here, or a streaming
+// ingest service feeding settled epochs) scores through one code path.
+// Feed epochs in order; a Scorer is not safe for concurrent Add.
+type Scorer struct {
+	res *Result
+}
+
+// Scorer returns a fresh scorer for this prepared run.
+func (p *Prepared) Scorer() *Scorer {
+	return &Scorer{res: &Result{
+		Name:   p.Name,
+		Plane:  p.Plane,
+		Epochs: make([]EpochScore, 0, p.Epochs),
+	}}
+}
+
+// Add scores one epoch against its own ground truth and folds it in.
+func (s *Scorer) Add(er *engine.EpochResult) {
+	res := s.res
+	score := metrics.ScoreVerdicts(er.Verdicts, er.Truth)
+	det := metrics.ScoreDetection(er.Detected, er.FailedLinks)
+	active := make([]topology.LinkID, len(er.FailedLinks))
+	copy(active, er.FailedLinks)
+	es := EpochScore{
+		Epoch:       er.Epoch,
+		ActiveLinks: active,
+		Detected:    er.Detected,
+		Detection:   det,
+		Accuracy:    score.Accuracy(),
+		FlowsScored: score.Considered,
+		FailedFlows: er.FailedFlows,
+		TotalDrops:  er.TotalDrops,
 	}
+	res.Epochs = append(res.Epochs, es)
+	if len(active) > 0 {
+		res.ActiveEpochs++
+		res.TruePos += det.TruePos
+		res.FalsePos += det.FalsePos
+		res.FalseNeg += det.FalseNeg
+	} else {
+		res.QuietEpochs++
+		if len(er.Detected) == 0 {
+			res.QuietClean++
+		}
+	}
+	res.Correct += score.Correct
+	res.Considered += score.Considered
+}
+
+// Finish computes the aggregate ratios and returns the result.
+func (s *Scorer) Finish() *Result {
+	res := s.res
 	res.Precision = ratio(res.TruePos, res.TruePos+res.FalsePos)
 	res.Recall = ratio(res.TruePos, res.TruePos+res.FalseNeg)
 	res.Accuracy = ratio(res.Correct, res.Considered)
-	return res, nil
+	return res
+}
+
+// Run executes one scenario: build the topology, derive the workload and
+// script from the seed, construct the epoch engine for the chosen plane,
+// then drive, analyze and score Epochs rounds — one code path for both the
+// flow-level simulator and the packet-level cluster emulation.
+func Run(spec Spec, cfg Config) (*Result, error) {
+	p, err := Prepare(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc := p.Scorer()
+	for e := 0; e < p.Epochs; e++ {
+		sc.Add(p.Engine.RunEpoch())
+	}
+	return sc.Finish(), nil
 }
 
 // ---- registry ----

@@ -32,6 +32,52 @@ type Report struct {
 	// Partial marks a traceroute that did not reach the destination (the
 	// probe itself was lost); Path then holds the reached prefix.
 	Partial bool
+	// Epoch and Seq give the report a stable identity under streaming
+	// ingest: (Src, Epoch, Seq) names this report uniquely across the run.
+	// Every batch producer assigns Seq densely per agent per epoch — an
+	// agent's k reports in epoch e carry sequences 0..k-1 in emission order
+	// — which is the invariant the ingest collector's gap detection,
+	// duplicate suppression and loss accounting are built on.
+	Epoch int32
+	Seq   int32
+}
+
+// ReportID is a report's stable identity on the agent→collector path.
+type ReportID struct {
+	Agent topology.HostID
+	Epoch int32
+	Seq   int32
+}
+
+// ID returns the report's identity. The reporting agent is the source host:
+// 007 agents report the flows of their own host.
+func (r Report) ID() ReportID { return ReportID{Agent: r.Src, Epoch: r.Epoch, Seq: r.Seq} }
+
+// CanonicalLess orders reports by identity: agent, then epoch, then
+// sequence. Within one epoch this is a total order (identities are unique),
+// independent of arrival interleaving — the order settled epochs are
+// analyzed in, and the order batch engines emit in.
+func CanonicalLess(a, b Report) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	return a.Seq < b.Seq
+}
+
+// SortCanonical sorts reports into canonical identity order in place. It is
+// a no-op (single ordered scan) when the input is already canonical — the
+// common case for batch epochs, whose producers emit agents in ascending
+// order with dense sequences.
+func SortCanonical(reports []Report) {
+	for i := 1; i < len(reports); i++ {
+		if CanonicalLess(reports[i], reports[i-1]) {
+			sort.SliceStable(reports, func(i, j int) bool { return CanonicalLess(reports[i], reports[j]) })
+			return
+		}
+	}
 }
 
 // LinkVotes pairs a link with its tally.
