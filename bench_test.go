@@ -130,6 +130,47 @@ func BenchmarkClusterEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterEpochParallel charts the speedup curve of the
+// pod-sharded packet-plane DES: the same seeded epoch on an eight-pod Clos
+// at fixed worker counts, bit-identical results at every point (the
+// sharded-scheduler tests pin that), wall-clock the only variable. The
+// flow-plane mirror is BenchmarkEpochParallel above.
+func BenchmarkClusterEpochParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			topo, err := vigil.NewTopology(vigil.TopologyConfig{Pods: 8, ToRsPerPod: 4, T1PerPod: 4, T2: 4, HostsPerToR: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 1, EphemeralFlows: true, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bad := topo.LinksOfClass(vigil.L1Down)[3]
+			if err := em.InjectFailure(bad, 0.01); err != nil {
+				b.Fatal(err)
+			}
+			workload := vigil.Workload{
+				Pattern:        vigil.UniformTraffic(),
+				ConnsPerHost:   vigil.IntRange{Lo: 10, Hi: 10},
+				PacketsPerFlow: vigil.IntRange{Lo: 75, Hi: 150},
+			}
+			// Warm the per-shard pools.
+			em.StartWorkload(workload, 20*vigil.Second)
+			em.RunEpoch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				em.StartWorkload(workload, 20*vigil.Second)
+				res := em.RunEpoch()
+				if res == nil || em.LastEpoch().Flows == 0 {
+					b.Fatal("no flows in cluster epoch")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkClusterSteadyState is the packet plane's zero-allocation
 // contract: the same §7-scale epoch as BenchmarkClusterEpoch but with no
 // injected failure and ephemeral flow recycling — the always-on monitoring

@@ -4,7 +4,10 @@
 // it after the epoch benchmarks so every PR leaves a machine-readable perf
 // point behind:
 //
-//	go test -run XXX -bench 'Epoch' -benchmem -count=3 . | vigil-bench > BENCH_6.json
+//	go test -run XXX -bench 'Epoch' -benchmem -count=3 . | vigil-bench > BENCH_N.json
+//
+// where N is the current PR number (CI emits BENCH_8.json today); the file
+// name is the only thing that changes from PR to PR.
 //
 // With `go test -count=N` the same benchmark name appears N times; those
 // samples merge into one record keeping the MINIMUM ns/op (and the B/op and

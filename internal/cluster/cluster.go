@@ -55,6 +55,14 @@ type Config struct {
 	// flows whose smoothed RTT crosses the threshold — the §9.2 latency
 	// diagnosis extension.
 	RTTThresholdMicros int64
+	// Workers selects the packet plane's execution mode. Zero keeps the
+	// single-threaded scheduler (the golden reference). Any positive value
+	// shards the DES by pod on a des.ShardedScheduler — one shard per pod,
+	// link propagation delay as the conservative lookahead — with up to
+	// Workers goroutines driving the shards inside each delay-bounded
+	// window. EpochResults are bit-identical at every setting, including
+	// against Workers == 0.
+	Workers int
 	// EphemeralFlows recycles flow records, connections and tuple indexes
 	// at each epoch boundary, right after the epoch's ground-truth frame is
 	// captured. Steady-state epochs then allocate (near) nothing and memory
@@ -69,14 +77,26 @@ type Config struct {
 
 // Cluster is a running emulation.
 type Cluster struct {
-	cfg    Config
-	Topo   *topology.Topology
-	Sched  *des.Scheduler
-	Router *ecmp.Router
-	Net    *fabric.Net
-	SLB    *slb.SLB
-	Agent  *analysis.Agent
-	Hosts  []*Host
+	cfg  Config
+	Topo *topology.Topology
+	// Sched is the single-threaded scheduler (Workers == 0); nil on a
+	// sharded cluster, where no single queue exists — use Now for the
+	// clock and Sharded for per-shard access.
+	Sched   *des.Scheduler
+	Sharded *des.ShardedScheduler
+	Router  *ecmp.Router
+	Net     *fabric.Net
+	SLB     *slb.SLB
+	Agent   *analysis.Agent
+	Hosts   []*Host
+
+	// shardStates partitions the run-time-mutable epoch state by execution
+	// shard (exactly one entry when Workers == 0): drop arenas, report
+	// buffers, pending-start counts and connection pools are only ever
+	// touched by their shard's goroutine during a window, then merged
+	// deterministically at the epoch boundary.
+	shardStates []*clusterShard
+	hostShard   []int32
 
 	rng *stats.RNG
 	// Reporter delivers host reports to the collector; the default submits
@@ -99,35 +119,25 @@ type Cluster struct {
 	// TCP). The ground-truth tap matches against it, so reverse-direction
 	// ACKs and stray packets never enter the drop bookkeeping.
 	wireFlows map[ecmp.FiveTuple]int32
-	// dropIdx/dropArena are the dense per-flow drop ground truth: dropIdx
-	// parallels flows (slot → arena index, -1 when the flow lost nothing)
-	// and the arena holds small inline link/count sets — no nested maps on
-	// the tap path.
-	dropIdx   []int32
-	dropArena []flowDropSet
 
-	// Free lists (EphemeralFlows): records and connections recycled across
-	// epochs.
-	recPool  []*flowRecord
-	connPool []*Conn
-	// pendingStarts counts scheduled-but-unfired flow starts; recycling is
-	// skipped while any are outstanding (a caller scheduled traffic beyond
-	// the epoch boundary).
-	pendingStarts int
+	// recPool is the flow-record free list (EphemeralFlows); it is only
+	// touched at setup and settle, so it stays on the cluster. Connection
+	// pools live per shard.
+	recPool []*flowRecord
 
 	// genFlows is StartWorkload's reusable generation buffer.
 	genFlows []traffic.Flow
 	// pathBuf is the flow-truth path scratch.
 	pathBuf ecmp.PathBuf
+	// reportBuf is the sharded settle flush's merge scratch.
+	reportBuf []vote.Report
 
 	epochStart des.Time
 	// Epoch rotation state: epochIdx feeds the fabric's rate schedules;
 	// epochFirstFlow marks where the current epoch's flows begin in flows;
-	// epochDrops counts data-packet drops observed this epoch; lastEpoch is
-	// the frame RunEpoch captured before rolling.
+	// lastEpoch is the frame RunEpoch captured before rolling.
 	epochIdx       int
 	epochFirstFlow int
-	epochDrops     int
 	lastEpoch      EpochFrame
 	// agentSeq assigns each host agent's next report sequence number,
 	// dense by HostID, reset at every epoch roll — reports leave the
@@ -145,6 +155,118 @@ type flowDropSet struct {
 	n     int32
 	next  int32 // arena index of the overflow set, -1 if none
 }
+
+// Origin-key classes for the cluster's DES events (see
+// des.Scheduler.PostKeyed and the fabric's class 4 deliver keys): flow
+// starts and connection timers key on the owning host, so simultaneous
+// events order identically on one scheduler and across shards.
+const (
+	keyClassStart uint64 = 1 << 56
+	keyClassConn  uint64 = 2 << 56
+	keyClassPath  uint64 = 3 << 56
+)
+
+// clusterShard is one execution shard's slice of the run-time-mutable
+// cluster state. During a window only the shard's goroutine touches it;
+// the epoch boundary merges shards deterministically (drop chains are
+// per-link and a link lives on one shard, so the merge is a disjoint
+// union). A Workers == 0 cluster has exactly one.
+type clusterShard struct {
+	cl    *Cluster
+	id    int32
+	sched *des.Scheduler
+
+	// dropIdx/dropArena are the shard's dense per-flow drop ground truth:
+	// dropIdx parallels flows (slot → arena index, -1 when the flow lost
+	// nothing on this shard's links), grown lazily on first drop; the
+	// arena holds small inline link/count sets — no nested maps on the tap
+	// path.
+	dropIdx   []int32
+	dropArena []flowDropSet
+	// epochDrops counts data-packet drops observed on this shard's links
+	// this epoch.
+	epochDrops int
+	// pendingStarts counts scheduled-but-unfired flow starts on this
+	// shard; recycling is skipped while any are outstanding.
+	pendingStarts int
+	// connPool recycles connections of this shard's hosts.
+	connPool []*Conn
+	// reports buffers this shard's stamped host reports during a sharded
+	// window; the settle flush merges and emits them in canonical order.
+	// Unused (nil) on a single-threaded cluster, which emits live.
+	reports []vote.Report
+}
+
+// HandleEvent opens a scheduled connection (the cluster's typed DES event,
+// posted to the flow's source-host shard).
+func (s *clusterShard) HandleEvent(kind int32, arg int64, _ any) {
+	_ = kind // evStartFlow is the only kind the cluster schedules
+	s.pendingStarts--
+	cl := s.cl
+	rec := cl.flows[arg]
+	rec.conn = cl.Hosts[rec.src].openConn(rec.wireTuple, rec.appTuple, rec.packets, nil)
+}
+
+// countDrop records one dropped data packet against a flow slot in the
+// shard's dense arena, growing the slot index lazily.
+func (s *clusterShard) countDrop(slot int32, l topology.LinkID) {
+	for int(slot) >= len(s.dropIdx) {
+		s.dropIdx = append(s.dropIdx, -1)
+	}
+	di := s.dropIdx[slot]
+	if di < 0 {
+		di = s.newDropSet()
+		s.dropIdx[slot] = di
+	}
+	for {
+		set := &s.dropArena[di]
+		for i := int32(0); i < set.n; i++ {
+			if set.links[i] == l {
+				set.cnts[i]++
+				return
+			}
+		}
+		if set.n < int32(len(set.links)) {
+			set.links[set.n] = l
+			set.cnts[set.n] = 1
+			set.n++
+			return
+		}
+		if set.next < 0 {
+			next := s.newDropSet()
+			// The append in newDropSet may have moved the arena.
+			s.dropArena[di].next = next
+			di = next
+		} else {
+			di = set.next
+		}
+	}
+}
+
+// newDropSet claims a fresh arena entry (the arena is truncated, not
+// freed, when epochs recycle, so steady state reuses capacity).
+func (s *clusterShard) newDropSet() int32 {
+	s.dropArena = append(s.dropArena, flowDropSet{next: -1})
+	return int32(len(s.dropArena) - 1)
+}
+
+// getConn produces a connection object from the shard pool. Pooled reuse
+// bumps the incarnation counter (so a previous life's timer events stay
+// dead) and keeps the sentAt ring and pending-timer capacity; everything
+// else resets.
+func (s *clusterShard) getConn() *Conn {
+	if n := len(s.connPool); n > 0 {
+		c := s.connPool[n-1]
+		s.connPool[n-1] = nil
+		s.connPool = s.connPool[:n-1]
+		inc, ring, pend := c.incarnation, c.sentAt, c.pending[:0]
+		*c = Conn{incarnation: inc + 1, sentAt: ring, pending: pend}
+		return c
+	}
+	return &Conn{}
+}
+
+func (s *clusterShard) putConn(c *Conn) { s.connPool = append(s.connPool, c) }
 
 // EpochFrame is the per-epoch ground-truth bookkeeping the plane-agnostic
 // engine scores against: the failure set that was live during the epoch and
@@ -206,11 +328,28 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Detect.ThresholdFrac = 0.01
 	}
 	rng := stats.NewRNG(cfg.Seed)
-	sched := &des.Scheduler{}
 	router := ecmp.NewRouter(cfg.Topo, ecmp.NewSeeds(cfg.Topo, rng.Split()))
-	net, err := fabric.New(fabric.Config{
-		Topo: cfg.Topo, Router: router, Sched: sched, RNG: rng.Split(), Tmax: cfg.Tmax,
-	})
+	// Workers == 0 runs the golden single-threaded scheduler; any positive
+	// count shards the DES one-shard-per-pod under the link-delay
+	// lookahead. The shard structure depends only on the topology — worker
+	// count just bounds window concurrency — so results are bit-identical
+	// at every positive setting, and the keyed event order plus the
+	// fabric's per-link drop draws make them match Workers == 0 too.
+	var sched *des.Scheduler
+	var sharded *des.ShardedScheduler
+	fcfg := fabric.Config{Topo: cfg.Topo, Router: router, RNG: rng.Split(), Tmax: cfg.Tmax}
+	if cfg.Workers > 0 {
+		var err error
+		sharded, err = des.NewSharded(cfg.Topo.Cfg.Pods, fabric.DefaultLinkDelay, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		fcfg.Sharded = sharded
+	} else {
+		sched = &des.Scheduler{}
+		fcfg.Sched = sched
+	}
+	net, err := fabric.New(fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +360,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:       cfg,
 		Topo:      cfg.Topo,
 		Sched:     sched,
+		Sharded:   sharded,
 		Router:    router,
 		Net:       net,
 		SLB:       slb.New(cfg.Topo, rng.Split()),
@@ -231,6 +371,21 @@ func New(cfg Config) (*Cluster, error) {
 		wireFlows: make(map[ecmp.FiveTuple]int32),
 		agentSeq:  make([]int32, len(cfg.Topo.Hosts)),
 	}
+	nShards := 1
+	if sharded != nil {
+		nShards = sharded.Shards()
+	}
+	cl.shardStates = make([]*clusterShard, nShards)
+	for i := range cl.shardStates {
+		s := &clusterShard{cl: cl, id: int32(i)}
+		if sharded != nil {
+			s.sched = sharded.Shard(i)
+		} else {
+			s.sched = sched
+		}
+		cl.shardStates[i] = s
+	}
+	cl.hostShard, _ = cfg.Topo.ShardMap(nShards)
 	if cfg.NoiseHi > 0 {
 		// Baseline noise rates come from a stream derived from the seed, not
 		// from cl.rng, so enabling noise does not shift any of the existing
@@ -348,9 +503,46 @@ func (cl *Cluster) report(r vote.Report) {
 	r.Epoch = int32(cl.epochIdx)
 	r.Seq = cl.agentSeq[r.Src]
 	cl.agentSeq[r.Src]++
+	if cl.Sharded != nil {
+		// During a sharded window the Reporter (and the analysis agent
+		// behind it) must not be touched concurrently; buffer on the
+		// reporting host's shard and flush canonically at the settle.
+		// Seq stamping above stays safe: one host lives on one shard, so
+		// agentSeq[r.Src] is only ever touched by that shard's goroutine.
+		sh := cl.shardStates[cl.hostShard[r.Src]]
+		sh.reports = append(sh.reports, r)
+		return
+	}
 	if cl.Reporter != nil {
 		cl.Reporter(r)
 	}
+}
+
+// flushReports merges every shard's buffered reports and emits them through
+// the Reporter in canonical (Src, Seq, ...) order. The analysis agent sorts
+// drained reports by sequence anyway, so submission order does not affect
+// epoch results — canonical order just keeps any external Reporter (e.g.
+// the loopback-TCP path) deterministic too.
+func (cl *Cluster) flushReports() {
+	cl.reportBuf = cl.reportBuf[:0]
+	for _, s := range cl.shardStates {
+		cl.reportBuf = append(cl.reportBuf, s.reports...)
+		s.reports = s.reports[:0]
+	}
+	vote.SortCanonical(cl.reportBuf)
+	if cl.Reporter != nil {
+		for i := range cl.reportBuf {
+			cl.Reporter(cl.reportBuf[i])
+		}
+	}
+}
+
+// Now returns the cluster's virtual clock in either execution mode.
+func (cl *Cluster) Now() des.Time {
+	if cl.Sharded != nil {
+		return cl.Sharded.Now()
+	}
+	return cl.Sched.Now()
 }
 
 func (cl *Cluster) flowID(flow ecmp.FiveTuple) int64 {
@@ -377,48 +569,12 @@ func (cl *Cluster) groundTruthTap(ev fabric.TapEvent) {
 	if !ok {
 		return
 	}
-	cl.countDrop(slot, ev.Egress)
-	cl.epochDrops++
-}
-
-// countDrop records one dropped data packet against a flow slot in the
-// dense arena.
-func (cl *Cluster) countDrop(slot int32, l topology.LinkID) {
-	di := cl.dropIdx[slot]
-	if di < 0 {
-		di = cl.newDropSet()
-		cl.dropIdx[slot] = di
-	}
-	for {
-		set := &cl.dropArena[di]
-		for i := int32(0); i < set.n; i++ {
-			if set.links[i] == l {
-				set.cnts[i]++
-				return
-			}
-		}
-		if set.n < int32(len(set.links)) {
-			set.links[set.n] = l
-			set.cnts[set.n] = 1
-			set.n++
-			return
-		}
-		if set.next < 0 {
-			next := cl.newDropSet()
-			// The append in newDropSet may have moved the arena.
-			cl.dropArena[di].next = next
-			di = next
-		} else {
-			di = set.next
-		}
-	}
-}
-
-// newDropSet claims a fresh arena entry (the arena is truncated, not
-// freed, when epochs recycle, so steady state reuses capacity).
-func (cl *Cluster) newDropSet() int32 {
-	cl.dropArena = append(cl.dropArena, flowDropSet{next: -1})
-	return int32(len(cl.dropArena) - 1)
+	// The tap fires on the shard that owns the dropping link; record the
+	// drop in that shard's arena. Disjoint per-link ownership is what makes
+	// the epoch merge a plain union.
+	s := cl.shardStates[ev.Shard]
+	s.countDrop(slot, ev.Egress)
+	s.epochDrops++
 }
 
 // StartFlow opens a direct (DIP-addressed) connection at time at.
@@ -457,24 +613,6 @@ func (cl *Cluster) getRecord() *flowRecord {
 	return &flowRecord{}
 }
 
-// getConn produces a connection object. Pooled reuse bumps the
-// incarnation counter (so a previous life's timer events stay dead) and
-// keeps the sentAt ring and pending-timer capacity; everything else
-// resets.
-func (cl *Cluster) getConn() *Conn {
-	if n := len(cl.connPool); n > 0 {
-		c := cl.connPool[n-1]
-		cl.connPool[n-1] = nil
-		cl.connPool = cl.connPool[:n-1]
-		inc, ring, pend := c.incarnation, c.sentAt, c.pending[:0]
-		*c = Conn{incarnation: inc + 1, sentAt: ring, pending: pend}
-		return c
-	}
-	return &Conn{}
-}
-
-func (cl *Cluster) putConn(c *Conn) { cl.connPool = append(cl.connPool, c) }
-
 func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.FiveTuple, packets int, at des.Time) {
 	rec := cl.getRecord()
 	rec.id = cl.nextFlowID
@@ -486,19 +624,13 @@ func (cl *Cluster) startConn(src, dst topology.HostID, wireTuple, appTuple ecmp.
 	cl.nextFlowID++
 	slot := len(cl.flows)
 	cl.flows = append(cl.flows, rec)
-	cl.dropIdx = append(cl.dropIdx, -1)
 	cl.flowIDs[appTuple] = rec.id
 	cl.wireFlows[wireTuple] = int32(slot)
-	cl.pendingStarts++
-	cl.Sched.Post(at, cl, evStartFlow, int64(slot), nil)
-}
-
-// HandleEvent opens a scheduled connection (the cluster's typed DES event).
-func (cl *Cluster) HandleEvent(kind int32, arg int64, _ any) {
-	_ = kind // evStartFlow is the only kind the cluster schedules
-	cl.pendingStarts--
-	rec := cl.flows[arg]
-	rec.conn = cl.Hosts[rec.src].openConn(rec.wireTuple, rec.appTuple, rec.packets, nil)
+	// The start fires on the source host's shard; the host-keyed event
+	// order makes simultaneous starts sequence identically in both modes.
+	sh := cl.shardStates[cl.hostShard[src]]
+	sh.pendingStarts++
+	sh.sched.PostKeyed(at, keyClassStart|uint64(src), sh, evStartFlow, int64(slot), nil)
 }
 
 // StartWorkload schedules a whole epoch's traffic, spread uniformly over
@@ -520,8 +652,13 @@ func (cl *Cluster) StartWorkload(w traffic.Workload, spread des.Time) {
 func (cl *Cluster) RunEpoch() *analysis.Result {
 	cl.applySchedules()
 	end := cl.epochStart + cl.cfg.EpochLength
-	cl.Sched.RunUntil(end + 2*des.Second)
-	cl.epochStart = cl.Sched.Now()
+	if cl.Sharded != nil {
+		cl.Sharded.RunUntil(end + 2*des.Second)
+		cl.flushReports()
+	} else {
+		cl.Sched.RunUntil(end + 2*des.Second)
+	}
+	cl.epochStart = cl.Now()
 	for _, h := range cl.Hosts {
 		h.Mon.NewEpoch()
 		h.Path.NewEpoch()
@@ -535,11 +672,16 @@ func (cl *Cluster) RunEpoch() *analysis.Result {
 // per-epoch flow bookkeeping (recycling it under EphemeralFlows).
 func (cl *Cluster) captureEpochFrame() {
 	epochFlows := cl.flows[cl.epochFirstFlow:]
+	drops, pending := 0, 0
+	for _, s := range cl.shardStates {
+		drops += s.epochDrops
+		pending += s.pendingStarts
+	}
 	fr := EpochFrame{
 		Index:       cl.epochIdx,
 		FailedLinks: cl.FailedLinks(),
 		Flows:       len(epochFlows),
-		Drops:       cl.epochDrops,
+		Drops:       drops,
 		Truth:       make(map[int64]metrics.FlowTruth, 8),
 	}
 	for i, rec := range epochFlows {
@@ -552,9 +694,11 @@ func (cl *Cluster) captureEpochFrame() {
 	}
 	cl.lastEpoch = fr
 	cl.epochIdx++
-	cl.epochDrops = 0
+	for _, s := range cl.shardStates {
+		s.epochDrops = 0
+	}
 	clear(cl.agentSeq)
-	if cl.cfg.EphemeralFlows && cl.pendingStarts == 0 {
+	if cl.cfg.EphemeralFlows && pending == 0 {
 		cl.recycleFlows()
 	} else {
 		cl.epochFirstFlow = len(cl.flows)
@@ -569,7 +713,7 @@ func (cl *Cluster) recycleFlows() {
 	for _, rec := range cl.flows {
 		if c := rec.conn; c != nil {
 			if c.Done || c.Failed {
-				cl.putConn(c)
+				cl.shardStates[cl.hostShard[rec.src]].putConn(c)
 			} else {
 				c.orphan = true
 			}
@@ -581,8 +725,10 @@ func (cl *Cluster) recycleFlows() {
 		cl.flows[i] = nil
 	}
 	cl.flows = cl.flows[:0]
-	cl.dropIdx = cl.dropIdx[:0]
-	cl.dropArena = cl.dropArena[:0]
+	for _, s := range cl.shardStates {
+		s.dropIdx = s.dropIdx[:0]
+		s.dropArena = s.dropArena[:0]
+	}
 	clear(cl.flowIDs)
 	clear(cl.wireFlows)
 	cl.epochFirstFlow = 0
@@ -596,20 +742,28 @@ func (cl *Cluster) LastEpoch() EpochFrame { return cl.lastEpoch }
 // counts and the current failure set; failed is false when the flow lost no
 // data packets.
 func (cl *Cluster) flowTruth(slot int, rec *flowRecord) (tr metrics.FlowTruth, failed bool) {
-	di := cl.dropIdx[slot]
-	if di < 0 {
-		return metrics.FlowTruth{}, false
-	}
+	// Each shard holds the drop counts of its own links; a flow's ground
+	// truth is the max-count (min-link on ties) over the union of every
+	// shard's chain — order-independent, so shard iteration order is
+	// immaterial.
 	best := topology.NoLink
 	bestN := int32(0)
-	for i := di; i >= 0; i = cl.dropArena[i].next {
-		set := &cl.dropArena[i]
-		for j := int32(0); j < set.n; j++ {
-			l, n := set.links[j], set.cnts[j]
-			if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
-				best, bestN = l, n
+	for _, s := range cl.shardStates {
+		if slot >= len(s.dropIdx) {
+			continue
+		}
+		for i := s.dropIdx[slot]; i >= 0; i = s.dropArena[i].next {
+			set := &s.dropArena[i]
+			for j := int32(0); j < set.n; j++ {
+				l, n := set.links[j], set.cnts[j]
+				if n > bestN || (n == bestN && best != topology.NoLink && l < best) {
+					best, bestN = l, n
+				}
 			}
 		}
+	}
+	if best == topology.NoLink {
+		return metrics.FlowTruth{}, false
 	}
 	tr = metrics.FlowTruth{Culprit: best}
 	if err := cl.Router.PathInto(rec.src, rec.dst, rec.wireTuple, &cl.pathBuf); err == nil {

@@ -427,7 +427,9 @@ func TestLatencyDiagnosis(t *testing.T) {
 	}
 	// 3ms of extra one-way delay on one T1→ToR link; nothing drops.
 	slow := topo.LinksOfClass(topology.L1Down)[11]
-	cl.Net.SetExtraDelay(slow, 3*des.Millisecond)
+	if err := cl.Net.SetExtraDelay(slow, 3*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 
 	rng := stats.NewRNG(32)
 	w := traffic.Workload{
@@ -458,7 +460,9 @@ func TestLatencyDiagnosis(t *testing.T) {
 func TestLatencyDisabledByDefault(t *testing.T) {
 	cl := testCluster(t, 33)
 	topo := cl.Topo
-	cl.Net.SetExtraDelay(topo.LinksOfClass(topology.L1Down)[2], 5*des.Millisecond)
+	if err := cl.Net.SetExtraDelay(topo.LinksOfClass(topology.L1Down)[2], 5*des.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	rng := stats.NewRNG(34)
 	w := traffic.Workload{
 		Pattern:        traffic.Uniform{},

@@ -18,6 +18,12 @@ type Host struct {
 	cl *Cluster
 	id topology.HostID
 	ip uint32
+	// sched is the DES scheduler owning this host's pod shard (the single
+	// scheduler when Workers == 0); shard is the matching slice of cluster
+	// state. All of the host's own events — connection timers, flow starts,
+	// traceroute timeouts — post here, never across shards.
+	sched *des.Scheduler
+	shard *clusterShard
 
 	Bus  *etw.Bus
 	Mon  *monitor.Agent
@@ -92,6 +98,8 @@ func newHost(cl *Cluster, id topology.HostID) *Host {
 		cl:    cl,
 		id:    id,
 		ip:    cl.Topo.Hosts[id].IP,
+		sched: cl.Net.SchedOfHost(id),
+		shard: cl.shardStates[cl.hostShard[id]],
 		Bus:   &etw.Bus{},
 		conns: make(map[ecmp.FiveTuple]*Conn),
 		rx:    make(map[ecmp.FiveTuple]uint32),
@@ -100,9 +108,10 @@ func newHost(cl *Cluster, id topology.HostID) *Host {
 		Topo:         cl.Topo,
 		Host:         id,
 		SLB:          cl.SLB,
-		NewPacket:    cl.Net.NewPacket,
+		NewPacket:    func() *wire.Buffer { return cl.Net.NewPacketFor(id) },
 		SendPacket:   func(pkt *wire.Buffer) { cl.Net.Send(id, pkt) },
-		Sched:        cl.Sched,
+		Sched:        h.sched,
+		EventKey:     keyClassPath | uint64(id),
 		Ct:           cl.cfg.Ct,
 		ProbeTimeout: cl.cfg.ProbeTimeout,
 		OnReport:     cl.report,
@@ -172,7 +181,7 @@ func (h *Host) receiveData(tuple ecmp.FiveTuple, seq uint32) {
 // sendSegment serializes one TCP segment into a pooled packet buffer and
 // hands it to the fabric (which owns it from then on).
 func (h *Host) sendSegment(tuple ecmp.FiveTuple, tcp wire.TCP) {
-	pkt := h.cl.Net.NewPacket()
+	pkt := h.cl.Net.NewPacketFor(h.id)
 	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: tuple.SrcIP, Dst: tuple.DstIP}
 	tcp.SrcPort, tcp.DstPort = tuple.SrcPort, tuple.DstPort
 	tcp.SerializeTo(pkt, &ip)
@@ -184,7 +193,7 @@ func (h *Host) sendSegment(tuple ecmp.FiveTuple, tcp wire.TCP) {
 // Connection objects come from the cluster's pool; each reuse is a new
 // incarnation, so stale timer events from a previous life can never fire.
 func (h *Host) openConn(wireTuple, appTuple ecmp.FiveTuple, total int, onClose func(*Conn)) *Conn {
-	c := h.cl.getConn()
+	c := h.shard.getConn()
 	c.host = h
 	c.wireTuple = wireTuple
 	c.appTuple = appTuple
@@ -224,7 +233,7 @@ func (c *Conn) sendData(seq uint32) {
 func (c *Conn) pump() {
 	win := uint32(c.host.cl.cfg.Window)
 	for c.nextSend < c.total && c.nextSend < c.acked+win {
-		c.sentAt[c.nextSend&c.sentMask] = c.host.cl.Sched.Now()
+		c.sentAt[c.nextSend&c.sentMask] = c.host.sched.Now()
 		c.sendData(c.nextSend)
 		c.nextSend++
 	}
@@ -279,7 +288,7 @@ func (c *Conn) sampleRTT(ackN uint32) {
 	if at == noSample {
 		return
 	}
-	sample := c.host.cl.Sched.Now() - at
+	sample := c.host.sched.Now() - at
 	if c.srtt == 0 {
 		c.srtt = sample
 	} else {
@@ -291,7 +300,7 @@ func (c *Conn) sampleRTT(ackN uint32) {
 }
 
 func (c *Conn) armRTO() {
-	c.rtoDeadline = c.host.cl.Sched.Now() + c.rto
+	c.rtoDeadline = c.host.sched.Now() + c.rto
 	if len(c.pending) == 0 || c.rtoDeadline < c.pending[0] {
 		c.postTimer(c.rtoDeadline)
 	}
@@ -304,7 +313,7 @@ func (c *Conn) postTimer(at des.Time) {
 	c.pending = append(c.pending, 0)
 	copy(c.pending[1:], c.pending)
 	c.pending[0] = at
-	c.host.cl.Sched.Post(at, c, connEvRTO, int64(c.incarnation), nil)
+	c.host.sched.PostKeyed(at, keyClassConn|uint64(c.host.id), c, connEvRTO, int64(c.incarnation), nil)
 }
 
 // HandleEvent receives the connection's RTO timer events from the DES.
@@ -320,7 +329,7 @@ func (c *Conn) HandleEvent(kind int32, arg int64, _ any) {
 	if c.Done || c.Failed {
 		return
 	}
-	if now := c.host.cl.Sched.Now(); now < c.rtoDeadline {
+	if now := c.host.sched.Now(); now < c.rtoDeadline {
 		// Superseded by a later re-arm: make sure something still fires at
 		// the live deadline, then stand down.
 		if len(c.pending) == 0 || c.rtoDeadline < c.pending[0] {
@@ -352,6 +361,6 @@ func (c *Conn) close(failed bool) {
 		c.onClose(c)
 	}
 	if c.orphan {
-		c.host.cl.putConn(c)
+		c.host.shard.putConn(c)
 	}
 }

@@ -11,8 +11,16 @@
 // paths and tests; it costs exactly the closure the caller builds, with no
 // further boxing inside the scheduler.
 //
-// Events fire in (time, submission order): simultaneous events run FIFO,
-// which is what makes the emulation bit-identical across runs.
+// Events fire in (time, key, submission order): simultaneous events with
+// the same key run FIFO, and keys impose a deterministic order between
+// simultaneous events from different origins. The key is an origin
+// identifier chosen by the poster (a link, a host, a connection — see
+// PostKeyed); because an origin's events are produced by exactly one
+// sequential execution context, the (time, key, seq) order is identical
+// whether the emulation runs on one scheduler or on a pod-sharded
+// ShardedScheduler — the invariant the parallel packet plane's
+// bit-identical-epochs contract rests on. Unkeyed events (key 0) keep the
+// historical (time, submission order) behaviour.
 package des
 
 // Time is virtual time in microseconds since the start of the run.
@@ -40,17 +48,21 @@ type Handler interface {
 // nil Handler; typed events use h/kind/arg/p directly.
 type event struct {
 	at   Time
-	seq  uint64 // tie-break: FIFO among simultaneous events
+	key  uint64 // origin key: orders simultaneous events across origins
+	seq  uint64 // tie-break: FIFO among simultaneous same-key events
 	arg  int64
 	h    Handler
 	p    any
 	kind int32
 }
 
-// less orders events by (time, submission sequence).
+// less orders events by (time, origin key, submission sequence).
 func (e *event) less(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
+	}
+	if e.key != o.key {
+		return e.key < o.key
 	}
 	return e.seq < o.seq
 }
@@ -59,8 +71,8 @@ func (e *event) less(o *event) bool {
 // The zero value is ready to use. Not safe for concurrent use: the
 // emulation is single-threaded by design.
 //
-// The queue is two structures popped in one total (time, seq) order: a
-// FIFO fast lane for the monotone stream the packet fabric generates
+// The queue is two structures popped in one total (time, key, seq) order:
+// a FIFO fast lane for the monotone stream the packet fabric generates
 // (fixed link delays from a nondecreasing clock arrive already sorted,
 // so they enqueue and dequeue in O(1)), and a 4-ary min-heap for
 // everything else (timers, epoch ticks, spread-out flow starts). Step
@@ -88,7 +100,7 @@ func (s *Scheduler) Now() Time { return s.now }
 // At schedules fn at absolute time t. Events in the past run "now": the
 // clock never moves backward.
 func (s *Scheduler) At(t Time, fn func()) {
-	s.push(t, nil, 0, 0, fn)
+	s.push(t, 0, nil, 0, 0, fn)
 }
 
 // After schedules fn d microseconds from now.
@@ -100,7 +112,7 @@ func (s *Scheduler) Post(t Time, h Handler, kind int32, arg int64, p any) {
 	if h == nil {
 		panic("des: Post with nil Handler")
 	}
-	s.push(t, h, kind, arg, p)
+	s.push(t, 0, h, kind, arg, p)
 }
 
 // PostAfter schedules a typed event d microseconds from now.
@@ -108,19 +120,41 @@ func (s *Scheduler) PostAfter(d Time, h Handler, kind int32, arg int64, p any) {
 	s.Post(s.now+d, h, kind, arg, p)
 }
 
-func (s *Scheduler) push(t Time, h Handler, kind int32, arg int64, p any) {
+// PostKeyed schedules a typed event carrying an origin key. Simultaneous
+// events order by key before submission sequence, so two posters that
+// never observe each other's order (a link's deliveries vs a timer on
+// another host) still fire in a deterministic total order that does not
+// depend on which scheduler instance — or shard — carried them. Posters
+// must choose keys so that one key is only ever used from one sequential
+// execution context; by convention the high byte is a per-subsystem class
+// and the low bits an origin id (a link, a host).
+func (s *Scheduler) PostKeyed(t Time, key uint64, h Handler, kind int32, arg int64, p any) {
+	if h == nil {
+		panic("des: PostKeyed with nil Handler")
+	}
+	s.push(t, key, h, kind, arg, p)
+}
+
+// PostKeyedAfter schedules a keyed typed event d microseconds from now.
+func (s *Scheduler) PostKeyedAfter(d Time, key uint64, h Handler, kind int32, arg int64, p any) {
+	s.PostKeyed(s.now+d, key, h, kind, arg, p)
+}
+
+func (s *Scheduler) push(t Time, key uint64, h Handler, kind int32, arg int64, p any) {
 	if t < s.now {
 		t = s.now
 	}
 	s.nextID++
-	e := event{at: t, seq: s.nextID, arg: arg, h: h, p: p, kind: kind}
-	// Monotone fast lane: a near event no earlier than the lane's tail is
-	// already in sorted position. Far events are excluded even when they
-	// would extend the tail — a 20ms timer at the tail would force every
-	// following 5µs delivery onto the heap until it fired.
+	e := event{at: t, key: key, seq: s.nextID, arg: arg, h: h, p: p, kind: kind}
+	// Monotone fast lane: a near event no earlier — in (time, key) order —
+	// than the lane's tail is already in sorted position. Far events are
+	// excluded even when they would extend the tail — a 20ms timer at the
+	// tail would force every following 5µs delivery onto the heap until it
+	// fired.
 	if t-s.now <= nearWindow {
 		if n := len(s.fifo); n > s.fifoHead {
-			if t >= s.fifo[n-1].at {
+			tail := &s.fifo[n-1]
+			if t > tail.at || (t == tail.at && key >= tail.key) {
 				s.fifo = append(s.fifo, e)
 				return
 			}
@@ -183,8 +217,8 @@ func (s *Scheduler) popRoot() {
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) + len(s.fifo) - s.fifoHead }
 
-// peek returns the next event in (time, seq) order without removing it,
-// or nil when the queue is empty.
+// peek returns the next event in (time, key, seq) order without removing
+// it, or nil when the queue is empty.
 func (s *Scheduler) peek() *event {
 	var next *event
 	if s.fifoHead < len(s.fifo) {
@@ -242,12 +276,39 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	}
 }
 
+// NextEventAt reports the time of the next pending event; ok is false when
+// the queue is empty. The window driver uses it to size execution windows.
+func (s *Scheduler) NextEventAt() (t Time, ok bool) {
+	next := s.peek()
+	if next == nil {
+		return 0, false
+	}
+	return next.at, true
+}
+
+// RunBefore executes every event strictly before horizon. Unlike RunUntil
+// it leaves the clock at the last executed event: the caller (the sharded
+// window driver) may still inject events at exactly horizon — cross-shard
+// deliveries landing on the window edge — and those must not be clamped
+// forward.
+func (s *Scheduler) RunBefore(horizon Time) {
+	for {
+		next := s.peek()
+		if next == nil || next.at >= horizon {
+			return
+		}
+		s.Step()
+	}
+}
+
 // Drain runs events until none remain, with a safety cap on event count.
-// It returns the number of events executed.
-func (s *Scheduler) Drain(maxEvents int) int {
-	n := 0
+// It returns the number of events executed and whether the queue drained
+// clean: complete is false when the cap was hit with work still pending —
+// without it a caller seeing n == maxEvents could not tell a clean drain
+// of exactly maxEvents events from a truncated one.
+func (s *Scheduler) Drain(maxEvents int) (n int, complete bool) {
 	for n < maxEvents && s.Step() {
 		n++
 	}
-	return n
+	return n, s.Pending() == 0
 }

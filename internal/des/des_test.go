@@ -93,8 +93,17 @@ func TestDrainCap(t *testing.T) {
 		s.After(1, reschedule)
 	}
 	s.After(1, reschedule)
-	if ran := s.Drain(50); ran != 50 {
-		t.Fatalf("Drain ran %d events", ran)
+	ran, complete := s.Drain(50)
+	if ran != 50 || complete {
+		t.Fatalf("Drain ran %d events, complete=%v", ran, complete)
+	}
+	// The self-rescheduling chain keeps the queue non-empty forever; a
+	// bounded drain must report the cap was hit, and a drain over a finite
+	// queue must report completion.
+	var fin Scheduler
+	fin.After(1, func() {})
+	if ran, complete := fin.Drain(50); ran != 1 || !complete {
+		t.Fatalf("finite Drain ran %d events, complete=%v", ran, complete)
 	}
 }
 

@@ -1,0 +1,287 @@
+package des
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedScheduler runs N inner Schedulers under conservative parallel
+// discrete-event simulation. The caller partitions the emulated system into
+// shards (the packet plane shards by pod) such that every cross-shard
+// interaction is an event posted at least `lookahead` after the event that
+// caused it — in the fabric, the link propagation delay on every
+// inter-pod hop. That guaranteed gap is what lets each shard advance
+// independently inside a delay-bounded window and synchronize only at
+// window boundaries.
+//
+// The window protocol, per RunUntil iteration:
+//
+//  1. Every shard i gets its own horizon from its peers' earliest possible
+//     activity. A peer j cannot execute anything before
+//     lbts_j = min(nextAt_j, m+lookahead), where m is the global minimum
+//     next-event time: either its own queue head fires, or the earliest
+//     cross event any shard could emit this cycle (≥ m+lookahead) reaches
+//     it. Everything j emits lands ≥ lookahead later still, so
+//     horizon_i = min over j≠i of lbts_j + lookahead (capped at the
+//     deadline) bounds every future arrival into i. The lbts cap is what
+//     keeps relay chains safe: a shard with an empty or far-future queue
+//     can still be WOKEN by a cross event and answer — bounding it by its
+//     own queue alone would let its peers run past the reply. With a
+//     single shard no cross traffic exists and the window is unbounded.
+//  2. Shards with work strictly before their horizon run concurrently
+//     (RunBefore); each buffers its cross-shard posts into a private
+//     per-(src,dst) queue — single writer, no locks.
+//  3. At the barrier the driver drains the queues into the destination
+//     shards in deterministic (time, key, source submission) order. Keys
+//     make the merge unambiguous: simultaneous same-key events always come
+//     from one origin, and one origin lives on one shard, so the stable
+//     sort by (time, key) is a total order independent of which goroutine
+//     finished first — and identical to the order a single scheduler
+//     would have used.
+//
+// Worker count only bounds concurrency; it never affects the event order,
+// which is why epochs are bit-identical at any worker count.
+type ShardedScheduler struct {
+	shards    []*Scheduler
+	lookahead Time
+	workers   int
+
+	// cross[src*n+dst] buffers shard src's posts into shard dst during a
+	// window; only src's goroutine appends, only the barrier drains.
+	cross [][]xevent
+	// merge is the barrier's scratch: per-destination collected posts,
+	// insertion-sorted by (at, key) — stable, so same-origin posts keep
+	// their source submission order.
+	merge []xevent
+	// busy is the window scratch of shards scheduled to run.
+	busy []int32
+	// horizons[i] is shard i's current window horizon.
+	horizons []Time
+}
+
+// NewSharded builds a sharded scheduler. lookahead must be positive: a
+// zero-lookahead system has no guaranteed gap between cause and cross-shard
+// effect, so no window is safe to run concurrently and conservative
+// parallel execution is impossible — reject it loudly rather than produce
+// subtly reordered epochs. workers is clamped to [1, shards].
+func NewSharded(shards int, lookahead Time, workers int) (*ShardedScheduler, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("des: NewSharded needs at least 1 shard, got %d", shards)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("des: NewSharded needs positive lookahead, got %d", lookahead)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	ss := &ShardedScheduler{
+		shards:    make([]*Scheduler, shards),
+		lookahead: lookahead,
+		workers:   workers,
+		cross:     make([][]xevent, shards*shards),
+		horizons:  make([]Time, shards),
+	}
+	for i := range ss.shards {
+		ss.shards[i] = &Scheduler{}
+	}
+	return ss, nil
+}
+
+// xevent is one buffered cross-shard post.
+type xevent struct {
+	at   Time
+	key  uint64
+	arg  int64
+	h    Handler
+	p    any
+	kind int32
+}
+
+// Shards returns the shard count.
+func (ss *ShardedScheduler) Shards() int { return len(ss.shards) }
+
+// Workers returns the concurrency bound.
+func (ss *ShardedScheduler) Workers() int { return ss.workers }
+
+// Lookahead returns the guaranteed cross-shard delay the windows rely on.
+func (ss *ShardedScheduler) Lookahead() Time { return ss.lookahead }
+
+// Shard returns inner scheduler i, for setup-time posting and per-shard
+// clock reads. During RunUntil a shard's scheduler may only be touched
+// from that shard's own event handlers.
+func (ss *ShardedScheduler) Shard(i int) *Scheduler { return ss.shards[i] }
+
+// Now returns the globally safe virtual time: the minimum shard clock.
+// Between RunUntil calls all clocks agree (the driver advances every shard
+// to the deadline), so this is simply "the" time.
+func (ss *ShardedScheduler) Now() Time {
+	now := ss.shards[0].Now()
+	for _, s := range ss.shards[1:] {
+		if t := s.Now(); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+// PostCross buffers a keyed typed event from shard src's execution context
+// into shard dst. It must only be called from an event handler currently
+// running on shard src (or between RunUntil calls), and t must be at least
+// lookahead after src's clock — the conservative contract. Same-shard
+// posts should go directly to Shard(src).
+func (ss *ShardedScheduler) PostCross(src, dst int, t Time, key uint64, h Handler, kind int32, arg int64, p any) {
+	if h == nil {
+		panic("des: PostCross with nil Handler")
+	}
+	q := src*len(ss.shards) + dst
+	ss.cross[q] = append(ss.cross[q], xevent{at: t, key: key, arg: arg, h: h, p: p, kind: kind})
+}
+
+// RunUntil executes events on every shard until no shard holds an event at
+// or before deadline, then advances every shard clock to the deadline —
+// the sharded equivalent of Scheduler.RunUntil.
+func (ss *ShardedScheduler) RunUntil(deadline Time) {
+	for {
+		// Global minimum next-event time decides whether work remains.
+		var m Time
+		found := false
+		for _, s := range ss.shards {
+			if t, ok := s.NextEventAt(); ok && (!found || t < m) {
+				m, found = t, true
+			}
+		}
+		if !found || m > deadline {
+			break
+		}
+		// Per-shard horizons: min over peers of lbts_j + lookahead, where
+		// lbts_j = min(nextAt_j, m+lookahead) is the earliest time shard j
+		// could execute anything this cycle — its own queue head, or a
+		// relayed cross event. deadline+1 caps the window (RunBefore is
+		// strict, so events at exactly deadline still run, matching
+		// RunUntil). The global-min shard's horizon is always at least
+		// m+lookahead > m, so every window makes progress.
+		wake := m + ss.lookahead
+		ss.busy = ss.busy[:0]
+		for i, s := range ss.shards {
+			t, ok := s.NextEventAt()
+			if !ok || t > deadline {
+				continue
+			}
+			h := deadline + 1
+			for j, o := range ss.shards {
+				if j == i {
+					continue
+				}
+				lb := wake
+				if ot, ok := o.NextEventAt(); ok && ot < lb {
+					lb = ot
+				}
+				if lb+ss.lookahead < h {
+					h = lb + ss.lookahead
+				}
+			}
+			if t < h {
+				ss.horizons[i] = h
+				ss.busy = append(ss.busy, int32(i))
+			}
+		}
+		if len(ss.busy) == 0 {
+			// Every runnable shard is blocked at its horizon; cannot happen
+			// (the global-min shard's horizon is > its next event), but a
+			// stall here would loop forever — fail loudly instead.
+			panic("des: sharded window stalled")
+		}
+		ss.runWindow()
+		ss.flush()
+	}
+	for _, s := range ss.shards {
+		if s.now < deadline {
+			s.now = deadline
+		}
+	}
+}
+
+// runWindow executes every busy shard up to its horizon, concurrently when
+// more than one shard has work and workers allow.
+func (ss *ShardedScheduler) runWindow() {
+	if len(ss.busy) == 1 || ss.workers == 1 {
+		for _, i := range ss.busy {
+			ss.shards[i].RunBefore(ss.horizons[i])
+		}
+		return
+	}
+	var next atomic.Int32
+	run := func() {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= len(ss.busy) {
+				return
+			}
+			i := ss.busy[k]
+			ss.shards[i].RunBefore(ss.horizons[i])
+		}
+	}
+	w := ss.workers
+	if w > len(ss.busy) {
+		w = len(ss.busy)
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 0; g < w-1; g++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+// flush drains the window's cross-shard buffers into their destination
+// shards in deterministic (time, key, source submission) order.
+func (ss *ShardedScheduler) flush() {
+	n := len(ss.shards)
+	for dst := 0; dst < n; dst++ {
+		ss.merge = ss.merge[:0]
+		for src := 0; src < n; src++ {
+			q := src*n + dst
+			if len(ss.cross[q]) == 0 {
+				continue
+			}
+			// Stable insertion by (at, key): simultaneous same-key events
+			// come from one origin and therefore one source queue, so
+			// preserving per-queue order under the stable insert yields the
+			// same total order a single scheduler's seq numbers would.
+			for _, e := range ss.cross[q] {
+				k := len(ss.merge)
+				ss.merge = append(ss.merge, e)
+				for k > 0 && (e.at < ss.merge[k-1].at ||
+					(e.at == ss.merge[k-1].at && e.key < ss.merge[k-1].key)) {
+					ss.merge[k] = ss.merge[k-1]
+					k--
+				}
+				ss.merge[k] = e
+			}
+			// Zero the drained queue so buffers are not pinned.
+			for j := range ss.cross[q] {
+				ss.cross[q][j] = xevent{}
+			}
+			ss.cross[q] = ss.cross[q][:0]
+		}
+		d := ss.shards[dst]
+		for _, e := range ss.merge {
+			if e.at < d.now {
+				panic(fmt.Sprintf("des: flush into past: event at %d, dst clock %d", e.at, d.now))
+			}
+			d.push(e.at, e.key, e.h, e.kind, e.arg, e.p)
+		}
+	}
+	for j := range ss.merge {
+		ss.merge[j] = xevent{}
+	}
+	ss.merge = ss.merge[:0]
+}

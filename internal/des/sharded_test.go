@@ -1,0 +1,236 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceNode is a deterministic little state machine living on one shard:
+// each event it handles appends to its own per-node trace and posts
+// follow-up events — some to its own shard, some to a peer at >= lookahead
+// — from a counter-based pseudo-random sequence. Running the same node set
+// on a single scheduler and on a sharded one must produce identical
+// per-node traces: same events at the same virtual times in the same
+// causal order. (A global wall-clock interleaving across shards is NOT
+// part of the contract — parallel windows run shard-local state only, and
+// the packet plane merges shard state canonically at barriers.)
+type traceNode struct {
+	id     int
+	shard  int
+	budget int
+	trace  []string
+	sys    *traceSys
+}
+
+type traceSys struct {
+	nodes  []*traceNode
+	single *Scheduler
+	ss     *ShardedScheduler
+	look   Time
+}
+
+func (n *traceNode) key() uint64 { return uint64(n.id+1) << 32 }
+
+func (n *traceNode) now() Time {
+	if n.sys.ss != nil {
+		return n.sys.ss.Shard(n.shard).Now()
+	}
+	return n.sys.single.Now()
+}
+
+// post sends a keyed event to dst at absolute time t, routing through the
+// right scheduler for the current mode. The key is the POSTING node's —
+// the contract keys encode origin, not destination: every key must have a
+// single posting shard, or the barrier merge could order same-key events
+// from different shards differently than a single scheduler's seq numbers
+// would (the fabric keys deliveries by link, whose upstream switch is one
+// shard; the cluster keys timers and starts by the owning host).
+func (n *traceNode) post(dst *traceNode, t Time, kind int32, arg int64) {
+	if n.sys.ss == nil {
+		n.sys.single.PostKeyed(t, n.key(), dst, kind, arg, nil)
+	} else if dst.shard == n.shard {
+		n.sys.ss.Shard(n.shard).PostKeyed(t, n.key(), dst, kind, arg, nil)
+	} else {
+		n.sys.ss.PostCross(n.shard, dst.shard, t, n.key(), dst, kind, arg, nil)
+	}
+}
+
+func (n *traceNode) HandleEvent(kind int32, arg int64, _ any) {
+	s := n.sys
+	n.trace = append(n.trace, fmt.Sprintf("t=%d node=%d kind=%d arg=%d", n.now(), n.id, kind, arg))
+	if n.budget <= 0 {
+		return
+	}
+	n.budget--
+	// Counter-based branching: derived from (node, kind, arg) only, so both
+	// modes take identical decisions.
+	h := uint64(n.id)*0x9e3779b97f4a7c15 + uint64(kind)*0x632be59bd9b4e019 + uint64(arg)*0xd6e8feb86659fd93
+	now := n.now()
+	switch h % 4 {
+	case 0: // same-shard follow-up, sub-lookahead gap
+		n.post(n, now+1, 1, arg+1)
+	case 1: // same-shard simultaneous event on a peer of the same shard
+		peer := s.nodes[(n.id+2)%len(s.nodes)]
+		if peer.shard == n.shard {
+			n.post(peer, now+2, 2, arg+1)
+		} else {
+			n.post(n, now+2, 2, arg+1)
+		}
+	case 2: // cross-shard post at exactly the lookahead bound
+		peer := s.nodes[(n.id+1)%len(s.nodes)]
+		n.post(peer, now+s.look, 3, arg+1)
+	case 3: // cross-shard post well beyond the lookahead
+		peer := s.nodes[(n.id+3)%len(s.nodes)]
+		n.post(peer, now+3*s.look+1, 4, arg+1)
+	}
+}
+
+// runTrace executes the node system to the deadline in the requested mode
+// and returns the per-node traces.
+func runTrace(t *testing.T, shards, workers int, look Time, deadline Time) [][]string {
+	t.Helper()
+	const nodesPerShard = 3
+	sys := &traceSys{look: look}
+	if workers == 0 {
+		sys.single = &Scheduler{}
+	} else {
+		ss, err := NewSharded(shards, look, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ss = ss
+	}
+	for i := 0; i < shards*nodesPerShard; i++ {
+		sys.nodes = append(sys.nodes, &traceNode{id: i, shard: i % shards, budget: 200, sys: sys})
+	}
+	// Seed every node with one initial event; stagger times so shards start
+	// at different clocks.
+	for _, n := range sys.nodes {
+		at := Time(1 + n.id*7)
+		if sys.ss == nil {
+			sys.single.PostKeyed(at, n.key(), n, 0, 0, nil)
+		} else {
+			sys.ss.Shard(n.shard).PostKeyed(at, n.key(), n, 0, 0, nil)
+		}
+	}
+	if sys.ss == nil {
+		sys.single.RunUntil(deadline)
+		if got := sys.single.Now(); got != deadline {
+			t.Fatalf("single clock %d after RunUntil(%d)", got, deadline)
+		}
+	} else {
+		sys.ss.RunUntil(deadline)
+		if got := sys.ss.Now(); got != deadline {
+			t.Fatalf("sharded clock %d after RunUntil(%d)", got, deadline)
+		}
+	}
+	out := make([][]string, len(sys.nodes))
+	for i, n := range sys.nodes {
+		out[i] = n.trace
+	}
+	return out
+}
+
+// The sharded scheduler must hand every node the exact event sequence a
+// single scheduler would — same events, same virtual times, same causal
+// order per node — at every worker count, for several shard counts and
+// lookaheads.
+func TestShardedTraceIdentity(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, look := range []Time{5, 64} {
+			ref := runTrace(t, shards, 0, look, 100000)
+			total := 0
+			for _, tr := range ref {
+				total += len(tr)
+			}
+			if total < 100*shards {
+				t.Fatalf("shards=%d look=%d: fixture too quiet (%d events)", shards, look, total)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				got := runTrace(t, shards, workers, look, 100000)
+				for nd := range ref {
+					if len(got[nd]) != len(ref[nd]) {
+						t.Fatalf("shards=%d look=%d workers=%d node=%d: %d events vs %d single",
+							shards, look, workers, nd, len(got[nd]), len(ref[nd]))
+					}
+					for i := range ref[nd] {
+						if got[nd][i] != ref[nd][i] {
+							t.Fatalf("shards=%d look=%d workers=%d node=%d: trace diverges at %d:\n  single:  %s\n  sharded: %s",
+								shards, look, workers, nd, i, ref[nd][i], got[nd][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewShardedRejectsBadConfig(t *testing.T) {
+	if _, err := NewSharded(0, 5, 1); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewSharded(2, 0, 1); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+	if _, err := NewSharded(2, -3, 1); err == nil {
+		t.Fatal("negative lookahead accepted")
+	}
+	ss, err := NewSharded(2, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Workers() != 2 {
+		t.Fatalf("workers not clamped: %d", ss.Workers())
+	}
+	if ss.Shards() != 2 || ss.Lookahead() != 5 {
+		t.Fatalf("accessors: shards=%d lookahead=%d", ss.Shards(), ss.Lookahead())
+	}
+}
+
+// A cross-shard event landing exactly on a shard's window horizon must not
+// run inside that window (RunBefore is strict): seed two shards where B's
+// only event sits exactly at A's next-event + lookahead and check order.
+func TestShardedWindowEdge(t *testing.T) {
+	ss, err := NewSharded(2, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	a := HandlerFunc(func(kind int32, arg int64, _ any) {
+		order = append(order, fmt.Sprintf("a@%d", ss.Shard(0).Now()))
+		if kind == 0 {
+			// Cross post at exactly now+lookahead: the earliest legal time.
+			ss.PostCross(0, 1, ss.Shard(0).Now()+10, 7, HandlerFunc(func(int32, int64, any) {
+				order = append(order, fmt.Sprintf("b@%d", ss.Shard(1).Now()))
+			}), 1, 0, nil)
+		}
+	})
+	ss.Shard(0).PostKeyed(5, 3, a, 0, 0, nil)
+	// B also holds its own event at the same time the cross event will land
+	// (15), with a higher key — the cross event must run first.
+	ss.Shard(1).PostKeyed(15, 9, HandlerFunc(func(int32, int64, any) {
+		order = append(order, fmt.Sprintf("b2@%d", ss.Shard(1).Now()))
+	}), 2, 0, nil)
+	ss.RunUntil(100)
+	want := []string{"a@5", "b@15", "b2@15"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShardedSoak drives a dense eight-shard trace at full concurrency —
+// chiefly for the -race CI job, which runs it short to hunt interleavings
+// in the window/barrier protocol.
+func TestShardedSoak(t *testing.T) {
+	runTrace(t, 8, 8, 5, 200000)
+}
+
+// HandlerFunc adapts a func to the Handler interface for tests.
+type HandlerFunc func(kind int32, arg int64, p any)
+
+func (f HandlerFunc) HandleEvent(kind int32, arg int64, p any) { f(kind, arg, p) }

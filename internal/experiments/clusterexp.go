@@ -492,7 +492,9 @@ func runExtLatency(opts Options) (*Result, error) {
 			return nil, err
 		}
 		slow := topo.LinksOfClass(topology.L1Down)[7]
-		cl.Net.SetExtraDelay(slow, extra)
+		if err := cl.Net.SetExtraDelay(slow, extra); err != nil {
+			return nil, err
+		}
 		rng := stats.NewRNG(opts.Seed + 82)
 		top1, reports := 0, 0
 		for e := 0; e < epochs; e++ {

@@ -62,7 +62,10 @@ type Config struct {
 	LaneDepth, QueueDepth int
 	// MaxRetries bounds gap re-requests per epoch; 0 disables retries
 	// (every injected drop becomes an observed loss — the configuration
-	// the fault-counter agreement tests use).
+	// the fault-counter agreement tests use). Values above 255 are
+	// capped there: the attempt number travels as a uint8 through the
+	// retry path and the fault-identity hash, and a wrap at attempt 256
+	// would alias a retry back onto a first attempt.
 	MaxRetries int
 	// RetryBackoff spaces successive re-requests of the same epoch, in
 	// epochs (linear backoff: attempt k waits 1 + (k-1)*RetryBackoff
@@ -168,6 +171,13 @@ func New(cfg Config) (*Service, error) {
 		cfg.Faults.Delay < 0 || cfg.Faults.Delay > 1 || cfg.Faults.Burst < 0 || cfg.Faults.Burst > 1 ||
 		cfg.Faults.Crash < 0 || cfg.Faults.Crash > 1 {
 		return nil, fmt.Errorf("ingest: fault probabilities must be in [0, 1]")
+	}
+	if cfg.MaxRetries > 255 {
+		// attempt is a uint8 end to end (retryReq, item, the fault
+		// identity); more than 255 rounds would wrap attempt numbers onto
+		// first attempts. Nothing sane retries an epoch 255 times, so cap
+		// rather than reject.
+		cfg.MaxRetries = 255
 	}
 	s := &Service{cfg: cfg, eng: cfg.Engine, ctr: cfg.Counters}
 	if s.ctr == nil {

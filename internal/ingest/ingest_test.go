@@ -118,6 +118,27 @@ func (e *countingEngine) Step(emit func(vote.Report)) *engine.EpochResult {
 
 func (e *countingEngine) RunEpoch() *engine.EpochResult { panic("use Step") }
 
+// MaxRetries above 255 must be capped at construction: the attempt number
+// is a uint8 through the whole retry path, and attempt 256 would wrap to 0
+// — a retry masquerading as a first attempt in the fault identity and the
+// recovery accounting.
+func TestMaxRetriesCappedAtUint8(t *testing.T) {
+	eng := newTestEngine(t, engine.Config{Seed: 3}, soakTopo, 0)
+	s, err := New(Config{Engine: eng, MaxRetries: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.MaxRetries != 255 {
+		t.Fatalf("MaxRetries 1000 capped to %d, want 255", s.cfg.MaxRetries)
+	}
+	if s2, err := New(Config{Engine: eng, MaxRetries: 255}); err != nil || s2.cfg.MaxRetries != 255 {
+		t.Fatalf("MaxRetries 255 altered: %d, err %v", s2.cfg.MaxRetries, err)
+	}
+	if _, err := New(Config{Engine: eng, MaxRetries: -1}); err == nil {
+		t.Fatal("negative MaxRetries accepted")
+	}
+}
+
 // With retries disabled every injected fault maps to exactly one observed
 // counter; this is the counter algebra the ISSUE pins.
 func TestFaultCounterAgreement(t *testing.T) {

@@ -51,8 +51,14 @@ type Config struct {
 	// into pooled wire buffers and SendPacket takes ownership of each.
 	NewPacket  func() *wire.Buffer
 	SendPacket func(pkt *wire.Buffer)
-	// Sched provides virtual time for probe timeouts and rate limiting.
+	// Sched provides virtual time for probe timeouts and rate limiting. On
+	// a sharded emulation this must be the scheduler of the host's shard.
 	Sched *des.Scheduler
+	// EventKey is the origin key the agent's timer events carry (see
+	// des.Scheduler.PostKeyed); the embedding layer derives it from the
+	// host identity so simultaneous timeouts on different hosts order
+	// deterministically. Zero keeps unkeyed posting.
+	EventKey uint64
 	// Ct is the host traceroute budget in traceroutes/second (Theorem 1);
 	// zero disables the limit.
 	Ct float64
@@ -189,7 +195,7 @@ func (a *Agent) Discover(flow ecmp.FiveTuple) {
 			}
 		}
 	}
-	a.cfg.Sched.PostAfter(a.cfg.ProbeTimeout, a, evFinish, 0, tr)
+	a.cfg.Sched.PostKeyedAfter(a.cfg.ProbeTimeout, a.cfg.EventKey, a, evFinish, 0, tr)
 }
 
 // getTrace produces zeroed trace state, recycling finished traces.

@@ -27,10 +27,12 @@ import (
 //     two orders of magnitude fewer flows, and ICMP rate limiting plus
 //     TCP recovery can leave a marginally-active epoch with no traced
 //     failure-crossing flow. The envelopes absorb this statistically —
-//     fewer pooled trials widen the Wilson interval — instead of
-//     lowering any bound.
+//     the Wilson interval prices in the smaller pools — instead of
+//     lowering any bound. Per-seed error clustering (one bad epoch can
+//     cost several attribution trials at once) makes 4-seed pools swing
+//     wide, so the packet plane pools 8 seeds per scenario.
 //
-// Packet repetitions pool 4 seeds over 12 epochs (an 11s DES budget per
+// Packet repetitions pool 8 seeds over 12 epochs (a ~4s DES budget per
 // scenario on one core); each repetition is an independent single-threaded
 // replica fanned out across the worker pool.
 var crossEnvelopes = []struct {
@@ -45,7 +47,7 @@ var crossEnvelopes = []struct {
 			MinAccuracy:   0.97,
 			MinQuietClean: 0.02,
 		},
-		packet: Envelope{Seeds: 4, Epochs: 12},
+		packet: Envelope{Seeds: 8, Epochs: 12},
 	},
 	{
 		flow: Envelope{
@@ -54,7 +56,7 @@ var crossEnvelopes = []struct {
 			MinRecall:    0.95,
 			MinAccuracy:  0.97,
 		},
-		packet: Envelope{Seeds: 4, Epochs: 12},
+		packet: Envelope{Seeds: 8, Epochs: 12},
 	},
 }
 

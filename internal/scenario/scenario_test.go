@@ -157,6 +157,53 @@ func TestAllScenariosRunOnPacketPlane(t *testing.T) {
 	}
 }
 
+// sevenScaleTopo is §7 scale (40 servers) spread over two pods, with a T2
+// spine so every named scenario's link picks resolve — the sharded DES
+// path engages (TestClusterConfig itself is one pod with no spine, so it
+// cannot host the L2-picking scenarios).
+var sevenScaleTopo = topology.Config{Pods: 2, ToRsPerPod: 5, T1PerPod: 4, T2: 2, HostsPerToR: 4}
+
+// The intra-replica mirror of the fan-out test below, and the tentpole's
+// golden-hash gate at the scenario layer: every named scenario, on both
+// the quick and §7-scale topologies, must land a bit-identical Result at
+// every PacketWorkers setting of the pod-sharded DES — the single-threaded
+// scheduler (workers 0) is the golden reference.
+func TestPacketScenariosBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-plane DES sweep; skipped in -short mode")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, topoCfg := range []topology.Config{{}, sevenScaleTopo} {
+				s := spec
+				s.Topo = topoCfg // zero value defers to PacketQuickTopo
+				run := func(workers int) *Result {
+					res, err := Run(s, Config{Seed: 4242, Epochs: 3, Plane: engine.Packet, PacketWorkers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				want := run(0)
+				drops := 0
+				for _, es := range want.Epochs {
+					drops += es.TotalDrops
+				}
+				if drops == 0 {
+					t.Fatalf("pods=%d: scenario produced no drops to compare", s.Topo.Pods)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					if got := run(workers); !reflect.DeepEqual(want, got) {
+						t.Fatalf("pods=%d PacketWorkers=%d changed the scenario result", s.Topo.Pods, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
 // The packet-plane determinism contract, mirror of
 // TestScenarioBitIdenticalAcrossParallelism: the same seed and schedules
 // must give bit-identical results across repeated runs AND across replica
