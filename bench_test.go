@@ -232,6 +232,61 @@ func BenchmarkEpochDatacenter(b *testing.B) {
 	}
 }
 
+// benchClusterEpochDatacenter runs the packet plane's datacenter epoch: 32
+// pods of individually emulated packets on DatacenterPacketTopology, one
+// DES shard per pod. ConnsPerHost is trimmed to 4 so a full epoch stays a
+// sub-second CI unit while still pushing ~1k flows and ~100k packets
+// through 32 conservative-window shards.
+func benchClusterEpochDatacenter(b *testing.B, workers int) {
+	b.Helper()
+	topo, err := vigil.NewDatacenterTopology(vigil.DatacenterPacketTopology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 1, EphemeralFlows: true, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := topo.LinksOfClass(vigil.L1Down)[3]
+	if err := em.InjectFailure(bad, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	workload := vigil.Workload{
+		Pattern:        vigil.UniformTraffic(),
+		ConnsPerHost:   vigil.IntRange{Lo: 4, Hi: 4},
+		PacketsPerFlow: vigil.IntRange{Lo: 75, Hi: 150},
+	}
+	// Warm the per-shard pools and the scheduler's worker pool.
+	em.StartWorkload(workload, 20*vigil.Second)
+	em.RunEpoch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.StartWorkload(workload, 20*vigil.Second)
+		res := em.RunEpoch()
+		if res == nil || em.LastEpoch().Flows == 0 {
+			b.Fatal("no flows in datacenter cluster epoch")
+		}
+	}
+}
+
+// BenchmarkClusterEpochDatacenter is the packet plane's raised scale
+// target (ROADMAP item 4): a full multi-cluster datacenter epoch at pod
+// parallelism. The parallel variant charts the worker curve; on the 1-CPU
+// CI runner it records parity (see BENCH_N.json's num_cpu/gomaxprocs
+// header), on multi-core hosts the speedup.
+func BenchmarkClusterEpochDatacenter(b *testing.B) {
+	benchClusterEpochDatacenter(b, vigil.DatacenterPacketTopology.Pods())
+}
+
+func BenchmarkClusterEpochDatacenterParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			benchClusterEpochDatacenter(b, workers)
+		})
+	}
+}
+
 // BenchmarkEpochDatacenterDelta is the same datacenter fabric in
 // incremental mode: the flow set froze after a warmup epoch, and each
 // iteration changes one link's rate so the epoch re-scores only the flows

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,17 +39,23 @@ type Result struct {
 	Samples int `json:"samples,omitempty"`
 }
 
-// Output is the emitted document.
+// Output is the emitted document. NumCPU and GOMAXPROCS describe the
+// machine vigil-bench ran on — CI runs it on the same runner as the
+// benchmarks — so a flat parallel curve in the benchmark records is
+// self-explaining: num_cpu 1 means the workers were serialized by the
+// host, not by the scheduler.
 type Output struct {
 	GOOS       string   `json:"goos,omitempty"`
 	GOARCH     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
 	Package    string   `json:"pkg,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
-	var out Output
+	out := Output{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	index := make(map[string]int) // name -> position in out.Benchmarks
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

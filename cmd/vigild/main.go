@@ -33,6 +33,7 @@ import (
 
 	"vigil/internal/engine"
 	"vigil/internal/ingest"
+	"vigil/internal/metrics"
 	"vigil/internal/prof"
 	"vigil/internal/runutil"
 	"vigil/internal/scenario"
@@ -52,6 +53,27 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// observeEpoch feeds one settled epoch into the exporter: the vote
+// ranking resolved to link names (with Algorithm 1's detected set
+// flagged), and the detection scored against the epoch's injected-failure
+// ground truth as the scenario's conformance point.
+func observeEpoch(exp *metrics.EpochExporter, topo *topology.Topology, res *engine.EpochResult, scenarioName string) {
+	detected := make(map[topology.LinkID]bool, len(res.Detected))
+	for _, l := range res.Detected {
+		detected[l] = true
+	}
+	ranked := make([]metrics.RankedLink, 0, len(res.Ranking))
+	for _, lv := range res.Ranking {
+		ranked = append(ranked, metrics.RankedLink{
+			Link:     topo.LinkName(lv.Link),
+			Votes:    lv.Votes,
+			Detected: detected[lv.Link],
+		})
+	}
+	exp.ObserveEpoch(int64(res.Epoch), ranked)
+	exp.ObserveConformance(scenarioName, metrics.ScoreDetection(res.Detected, res.FailedLinks))
+}
+
 func main() {
 	plane := flag.String("plane", "flow", "evaluation plane: flow or packet")
 	epochs := flag.Int("epochs", 50, "epochs to run (0 = until SIGINT)")
@@ -63,6 +85,8 @@ func main() {
 	retries := flag.Int("retries", 0, "max gap re-request rounds per epoch")
 	listen := flag.String("listen", "", "address for the /metrics endpoint (empty = off)")
 	quiet := flag.Bool("quiet", false, "suppress per-epoch lines")
+	scenarioLabel := flag.String("scenario", "static", "scenario label on the conformance gauges")
+	topK := flag.Int("top-links", 10, "ranked links exported per settled epoch")
 
 	faultSeed := flag.Uint64("fault-seed", 1, "fault layer seed")
 	drop := flag.Float64("drop", 0, "report drop probability")
@@ -105,6 +129,8 @@ func main() {
 		fmt.Printf("injected %.1f%% loss on %s\n", *rate*100, topo.LinkName(l))
 	}
 
+	exporter := metrics.NewEpochExporter(*topK)
+
 	svc, err := ingest.New(ingest.Config{
 		Engine:     eng,
 		Grace:      *grace,
@@ -120,6 +146,7 @@ func main() {
 			Crash:     *crash,
 		},
 		Sink: func(res *engine.EpochResult) {
+			observeEpoch(exporter, topo, res, *scenarioLabel)
 			if *quiet {
 				return
 			}
@@ -141,6 +168,7 @@ func main() {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			svc.Counters().WritePrometheus(w)
+			exporter.WritePrometheus(w)
 		})
 		metricsSrv = &http.Server{Handler: mux}
 		go metricsSrv.Serve(ln)

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"testing"
+
+	"vigil/internal/des"
+	"vigil/internal/topology"
+	"vigil/internal/traffic"
+)
+
+// The sharded steady state must stay within shouting distance of the
+// single-threaded path's ~34 allocs/epoch: the persistent worker pool,
+// recycled cross queues and zero-alloc barrier merges replaced the ~5.9k
+// allocs/epoch the per-window goroutine spawns and merge scratch used to
+// cost. The ceiling is deliberately loose (500) so the test pins the
+// architecture — no per-window allocation — without flaking on runtime
+// noise, and it holds even on the 1-CPU CI runner where the pool's
+// workers mostly run serialized.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	topo, err := topology.New(quadPodQuickTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Topo: topo, Seed: 3, EphemeralFlows: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := traffic.Workload{
+		Pattern:        traffic.Uniform{},
+		ConnsPerHost:   traffic.IntRange{Lo: 10, Hi: 10},
+		PacketsPerFlow: traffic.IntRange{Lo: 75, Hi: 150},
+	}
+	epoch := func() {
+		cl.StartWorkload(w, 20*des.Second)
+		if res := cl.RunEpoch(); res == nil {
+			t.Fatal("no result")
+		}
+	}
+	// Warm every pool: packet buffers, scheduler lanes, cross queues,
+	// merge scratch, the worker pool itself, conns, records, tuple maps.
+	for i := 0; i < 2; i++ {
+		epoch()
+	}
+	if flows := cl.LastEpoch().Flows; flows < 200 {
+		t.Fatalf("want a full workload epoch, got %d flows", flows)
+	}
+	avg := testing.AllocsPerRun(5, epoch)
+	t.Logf("sharded steady-state epoch: %.0f allocs (%d flows)", avg, cl.LastEpoch().Flows)
+	if avg > 500 {
+		t.Fatalf("sharded steady-state epoch allocates %.0f times, ceiling 500", avg)
+	}
+}

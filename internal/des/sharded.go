@@ -2,8 +2,6 @@ package des
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 )
 
 // ShardedScheduler runs N inner Schedulers under conservative parallel
@@ -29,16 +27,30 @@ import (
 //     can still be WOKEN by a cross event and answer — bounding it by its
 //     own queue alone would let its peers run past the reply. With a
 //     single shard no cross traffic exists and the window is unbounded.
+//     The min-over-peers is computed once per window from the global min
+//     and second-min of lbts (horizon_i is m1+lookahead for every shard
+//     except the argmin, which gets m2+lookahead), and nextAt is cached
+//     incrementally: only shards that ran in the last window or received
+//     its flushed cross events can have changed their queue head, so the
+//     driver refreshes exactly those entries instead of rescanning all
+//     shards every window.
 //  2. Shards with work strictly before their horizon run concurrently
-//     (RunBefore); each buffers its cross-shard posts into a private
+//     (RunBefore) on a persistent worker pool — workers park on a wake
+//     gate between windows and claim busy shards from a shared atomic
+//     ticket, so a window costs two atomic ops per shard instead of a
+//     goroutine spawn. RunBefore is itself the batch step: a shard runs
+//     every event inside its horizon without re-checking any global
+//     state. Each shard buffers its cross-shard posts into a private
 //     per-(src,dst) queue — single writer, no locks.
-//  3. At the barrier the driver drains the queues into the destination
-//     shards in deterministic (time, key, source submission) order. Keys
-//     make the merge unambiguous: simultaneous same-key events always come
-//     from one origin, and one origin lives on one shard, so the stable
-//     sort by (time, key) is a total order independent of which goroutine
-//     finished first — and identical to the order a single scheduler
-//     would have used.
+//  3. At the barrier the same pool drains the queues into the destination
+//     shards in deterministic (time, key, source submission) order, one
+//     worker per destination. Keys make the merge unambiguous:
+//     simultaneous same-key events always come from one origin, and one
+//     origin lives on one shard, so a k-way merge of the per-source
+//     queues by (time, key) — each queue first stable-sorted by the same
+//     relation, preserving submission order on ties — is a total order
+//     independent of which goroutine finished first, and identical to
+//     the order a single scheduler's seq numbers would have produced.
 //
 // Worker count only bounds concurrency; it never affects the event order,
 // which is why epochs are bit-identical at any worker count.
@@ -46,18 +58,37 @@ type ShardedScheduler struct {
 	shards    []*Scheduler
 	lookahead Time
 	workers   int
+	gate      gateKind
 
 	// cross[src*n+dst] buffers shard src's posts into shard dst during a
 	// window; only src's goroutine appends, only the barrier drains.
 	cross [][]xevent
-	// merge is the barrier's scratch: per-destination collected posts,
-	// insertion-sorted by (at, key) — stable, so same-origin posts keep
-	// their source submission order.
-	merge []xevent
+	// touched[src] lists the destinations src posted to since the last
+	// barrier (appended on first post into an empty queue), so the flush
+	// does work proportional to actual cross traffic instead of scanning
+	// all n² queues; cross-free windows skip the barrier entirely.
+	touched [][]int32
+	// inbound[dst] is the barrier's per-destination source list, built
+	// serially from touched before the parallel merge phase.
+	inbound [][]int32
+	// mhead[dst] is merge scratch: the per-source queue cursor.
+	mhead [][]int32
+	// flushDst is the window's list of destinations with inbound events.
+	flushDst []int32
 	// busy is the window scratch of shards scheduled to run.
 	busy []int32
 	// horizons[i] is shard i's current window horizon.
 	horizons []Time
+
+	// nextAt/hasNext cache each shard's queue-head time between windows;
+	// refreshed in full at RunUntil entry and incrementally afterwards.
+	nextAt  []Time
+	hasNext []bool
+
+	// pool is the persistent worker pool, created on the first window that
+	// can actually use more than one goroutine. Its workers are daemons:
+	// they park on the gate between windows and live until Close.
+	pool *shardPool
 }
 
 // NewSharded builds a sharded scheduler. lookahead must be positive: a
@@ -66,6 +97,12 @@ type ShardedScheduler struct {
 // parallel execution is impossible — reject it loudly rather than produce
 // subtly reordered epochs. workers is clamped to [1, shards].
 func NewSharded(shards int, lookahead Time, workers int) (*ShardedScheduler, error) {
+	return newShardedGate(shards, lookahead, workers, gateChan)
+}
+
+// newShardedGate is NewSharded with an explicit pool parking primitive,
+// used by benchmarks to compare the channel and sync.Cond gates.
+func newShardedGate(shards int, lookahead Time, workers int, gate gateKind) (*ShardedScheduler, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("des: NewSharded needs at least 1 shard, got %d", shards)
 	}
@@ -82,8 +119,14 @@ func NewSharded(shards int, lookahead Time, workers int) (*ShardedScheduler, err
 		shards:    make([]*Scheduler, shards),
 		lookahead: lookahead,
 		workers:   workers,
+		gate:      gate,
 		cross:     make([][]xevent, shards*shards),
+		touched:   make([][]int32, shards),
+		inbound:   make([][]int32, shards),
+		mhead:     make([][]int32, shards),
 		horizons:  make([]Time, shards),
+		nextAt:    make([]Time, shards),
+		hasNext:   make([]bool, shards),
 	}
 	for i := range ss.shards {
 		ss.shards[i] = &Scheduler{}
@@ -115,6 +158,17 @@ func (ss *ShardedScheduler) Lookahead() Time { return ss.lookahead }
 // from that shard's own event handlers.
 func (ss *ShardedScheduler) Shard(i int) *Scheduler { return ss.shards[i] }
 
+// Close releases the persistent worker pool, if one was ever started. The
+// scheduler remains usable afterwards (a new pool is created on demand);
+// Close exists so tests and short-lived embedders do not accumulate parked
+// daemon goroutines. It must not be called concurrently with RunUntil.
+func (ss *ShardedScheduler) Close() {
+	if ss.pool != nil {
+		ss.pool.close()
+		ss.pool = nil
+	}
+}
+
 // Now returns the globally safe virtual time: the minimum shard clock.
 // Between RunUntil calls all clocks agree (the driver advances every shard
 // to the deadline), so this is simply "the" time.
@@ -138,53 +192,69 @@ func (ss *ShardedScheduler) PostCross(src, dst int, t Time, key uint64, h Handle
 		panic("des: PostCross with nil Handler")
 	}
 	q := src*len(ss.shards) + dst
+	if len(ss.cross[q]) == 0 {
+		ss.touched[src] = append(ss.touched[src], int32(dst))
+	}
 	ss.cross[q] = append(ss.cross[q], xevent{at: t, key: key, arg: arg, h: h, p: p, kind: kind})
 }
+
+// tMax is an unreachable virtual time, used as the min-scan sentinel.
+const tMax = Time(1) << 62
 
 // RunUntil executes events on every shard until no shard holds an event at
 // or before deadline, then advances every shard clock to the deadline —
 // the sharded equivalent of Scheduler.RunUntil.
 func (ss *ShardedScheduler) RunUntil(deadline Time) {
+	// Seed the queue-head cache; the loop maintains it incrementally.
+	for i, s := range ss.shards {
+		ss.nextAt[i], ss.hasNext[i] = s.NextEventAt()
+	}
 	for {
 		// Global minimum next-event time decides whether work remains.
-		var m Time
-		found := false
-		for _, s := range ss.shards {
-			if t, ok := s.NextEventAt(); ok && (!found || t < m) {
-				m, found = t, true
+		m := tMax
+		for i := range ss.shards {
+			if ss.hasNext[i] && ss.nextAt[i] < m {
+				m = ss.nextAt[i]
 			}
 		}
-		if !found || m > deadline {
+		if m == tMax || m > deadline {
 			break
 		}
-		// Per-shard horizons: min over peers of lbts_j + lookahead, where
-		// lbts_j = min(nextAt_j, m+lookahead) is the earliest time shard j
-		// could execute anything this cycle — its own queue head, or a
-		// relayed cross event. deadline+1 caps the window (RunBefore is
+		// Per-shard horizons from the min and second-min of lbts over all
+		// shards: horizon_i = (min over j≠i of lbts_j) + lookahead, which
+		// is m1+lookahead for every i except the argmin of lbts, which
+		// gets m2+lookahead. deadline+1 caps the window (RunBefore is
 		// strict, so events at exactly deadline still run, matching
 		// RunUntil). The global-min shard's horizon is always at least
 		// m+lookahead > m, so every window makes progress.
 		wake := m + ss.lookahead
+		m1, m2 := tMax, tMax
+		arg1 := -1
+		for j := range ss.shards {
+			lb := wake
+			if ss.hasNext[j] && ss.nextAt[j] < lb {
+				lb = ss.nextAt[j]
+			}
+			if lb < m1 {
+				m1, m2, arg1 = lb, m1, j
+			} else if lb < m2 {
+				m2 = lb
+			}
+		}
 		ss.busy = ss.busy[:0]
-		for i, s := range ss.shards {
-			t, ok := s.NextEventAt()
-			if !ok || t > deadline {
+		for i := range ss.shards {
+			if !ss.hasNext[i] || ss.nextAt[i] > deadline {
 				continue
 			}
-			h := deadline + 1
-			for j, o := range ss.shards {
-				if j == i {
-					continue
-				}
-				lb := wake
-				if ot, ok := o.NextEventAt(); ok && ot < lb {
-					lb = ot
-				}
-				if lb+ss.lookahead < h {
-					h = lb + ss.lookahead
-				}
+			peer := m1
+			if i == arg1 {
+				peer = m2
 			}
-			if t < h {
+			h := deadline + 1
+			if peer != tMax && peer+ss.lookahead < h {
+				h = peer + ss.lookahead
+			}
+			if ss.nextAt[i] < h {
 				ss.horizons[i] = h
 				ss.busy = append(ss.busy, int32(i))
 			}
@@ -197,6 +267,14 @@ func (ss *ShardedScheduler) RunUntil(deadline Time) {
 		}
 		ss.runWindow()
 		ss.flush()
+		// Only shards that ran or received flushed events can have a
+		// changed queue head; refresh exactly those cache entries.
+		for _, i := range ss.busy {
+			ss.nextAt[i], ss.hasNext[i] = ss.shards[i].NextEventAt()
+		}
+		for _, d := range ss.flushDst {
+			ss.nextAt[d], ss.hasNext[d] = ss.shards[d].NextEventAt()
+		}
 	}
 	for _, s := range ss.shards {
 		if s.now < deadline {
@@ -205,8 +283,8 @@ func (ss *ShardedScheduler) RunUntil(deadline Time) {
 	}
 }
 
-// runWindow executes every busy shard up to its horizon, concurrently when
-// more than one shard has work and workers allow.
+// runWindow executes every busy shard up to its horizon, on the persistent
+// pool when more than one shard has work and workers allow.
 func (ss *ShardedScheduler) runWindow() {
 	if len(ss.busy) == 1 || ss.workers == 1 {
 		for _, i := range ss.busy {
@@ -214,74 +292,128 @@ func (ss *ShardedScheduler) runWindow() {
 		}
 		return
 	}
-	var next atomic.Int32
-	run := func() {
-		for {
-			k := int(next.Add(1)) - 1
-			if k >= len(ss.busy) {
-				return
-			}
-			i := ss.busy[k]
-			ss.shards[i].RunBefore(ss.horizons[i])
-		}
-	}
-	w := ss.workers
-	if w > len(ss.busy) {
-		w = len(ss.busy)
-	}
-	var wg sync.WaitGroup
-	wg.Add(w - 1)
-	for g := 0; g < w-1; g++ {
-		go func() {
-			defer wg.Done()
-			run()
-		}()
-	}
-	run()
-	wg.Wait()
+	ss.ensurePool()
+	ss.pool.dispatch(phaseWindow, len(ss.busy))
 }
 
 // flush drains the window's cross-shard buffers into their destination
-// shards in deterministic (time, key, source submission) order.
+// shards in deterministic (time, key, source submission) order. The
+// per-destination merges touch disjoint state (the destination's scheduler
+// and its inbound queues), so they run on the pool when several
+// destinations have traffic.
 func (ss *ShardedScheduler) flush() {
-	n := len(ss.shards)
-	for dst := 0; dst < n; dst++ {
-		ss.merge = ss.merge[:0]
-		for src := 0; src < n; src++ {
-			q := src*n + dst
-			if len(ss.cross[q]) == 0 {
-				continue
-			}
-			// Stable insertion by (at, key): simultaneous same-key events
-			// come from one origin and therefore one source queue, so
-			// preserving per-queue order under the stable insert yields the
-			// same total order a single scheduler's seq numbers would.
-			for _, e := range ss.cross[q] {
-				k := len(ss.merge)
-				ss.merge = append(ss.merge, e)
-				for k > 0 && (e.at < ss.merge[k-1].at ||
-					(e.at == ss.merge[k-1].at && e.key < ss.merge[k-1].key)) {
-					ss.merge[k] = ss.merge[k-1]
-					k--
-				}
-				ss.merge[k] = e
-			}
-			// Zero the drained queue so buffers are not pinned.
-			for j := range ss.cross[q] {
-				ss.cross[q][j] = xevent{}
-			}
-			ss.cross[q] = ss.cross[q][:0]
+	ss.flushDst = ss.flushDst[:0]
+	for src := range ss.touched {
+		lst := ss.touched[src]
+		if len(lst) == 0 {
+			continue
 		}
-		d := ss.shards[dst]
-		for _, e := range ss.merge {
+		for _, dst := range lst {
+			if len(ss.inbound[dst]) == 0 {
+				ss.flushDst = append(ss.flushDst, dst)
+			}
+			ss.inbound[dst] = append(ss.inbound[dst], int32(src))
+		}
+		ss.touched[src] = lst[:0]
+	}
+	switch {
+	case len(ss.flushDst) == 0:
+		return
+	case len(ss.flushDst) == 1 || ss.workers == 1:
+		for _, d := range ss.flushDst {
+			ss.mergeInto(int(d))
+		}
+	default:
+		ss.ensurePool()
+		ss.pool.dispatch(phaseFlush, len(ss.flushDst))
+	}
+}
+
+// mergeInto k-way merges every pending source queue for destination dst
+// into its scheduler, in (time, key, source submission) order. Only one
+// goroutine merges a given destination per barrier, so pushes into the
+// destination scheduler are single-writer. Drained queue entries keep
+// their value fields and only drop the pointer fields (h, p) — the
+// backing arrays are recycled, and unpinning the payloads is all the
+// zeroing that matters.
+func (ss *ShardedScheduler) mergeInto(dst int) {
+	n := len(ss.shards)
+	srcs := ss.inbound[dst]
+	d := ss.shards[dst]
+	if len(srcs) == 1 {
+		q := int(srcs[0])*n + dst
+		ev := ss.cross[q]
+		sortXQueue(ev)
+		for i := range ev {
+			e := &ev[i]
 			if e.at < d.now {
 				panic(fmt.Sprintf("des: flush into past: event at %d, dst clock %d", e.at, d.now))
 			}
 			d.push(e.at, e.key, e.h, e.kind, e.arg, e.p)
+			e.h, e.p = nil, nil
+		}
+		ss.cross[q] = ev[:0]
+		ss.inbound[dst] = srcs[:0]
+		return
+	}
+	// Sort each source queue by (at, key) — stable, preserving submission
+	// order on ties — then merge across queue heads. Same-(at,key) events
+	// always share an origin and therefore a queue, so the cross-queue
+	// comparison never ties and the merge is a total order.
+	heads := ss.mhead[dst][:0]
+	for _, src := range srcs {
+		sortXQueue(ss.cross[int(src)*n+dst])
+		heads = append(heads, 0)
+	}
+	for {
+		best := -1
+		var bt Time
+		var bk uint64
+		for si, src := range srcs {
+			q := ss.cross[int(src)*n+dst]
+			hd := int(heads[si])
+			if hd >= len(q) {
+				continue
+			}
+			e := &q[hd]
+			if best < 0 || e.at < bt || (e.at == bt && e.key < bk) {
+				best, bt, bk = si, e.at, e.key
+			}
+		}
+		if best < 0 {
+			break
+		}
+		q := ss.cross[int(srcs[best])*n+dst]
+		e := &q[heads[best]]
+		if e.at < d.now {
+			panic(fmt.Sprintf("des: flush into past: event at %d, dst clock %d", e.at, d.now))
+		}
+		d.push(e.at, e.key, e.h, e.kind, e.arg, e.p)
+		e.h, e.p = nil, nil
+		heads[best]++
+	}
+	for _, src := range srcs {
+		q := int(src)*n + dst
+		ss.cross[q] = ss.cross[q][:0]
+	}
+	ss.mhead[dst] = heads
+	ss.inbound[dst] = srcs[:0]
+}
+
+// sortXQueue stable insertion-sorts a cross queue by (at, key). Queues are
+// nearly time-ordered already (a shard's clock only advances while it
+// posts), so the adaptive sort is close to a single verification pass.
+func sortXQueue(q []xevent) {
+	for i := 1; i < len(q); i++ {
+		e := q[i]
+		j := i
+		for j > 0 && (e.at < q[j-1].at ||
+			(e.at == q[j-1].at && e.key < q[j-1].key)) {
+			q[j] = q[j-1]
+			j--
+		}
+		if j != i {
+			q[j] = e
 		}
 	}
-	for j := range ss.merge {
-		ss.merge[j] = xevent{}
-	}
-	ss.merge = ss.merge[:0]
 }

@@ -30,6 +30,43 @@ func TestDatacenterSimConfigScale(t *testing.T) {
 	}
 }
 
+// The packet plane's datacenter target keeps the multi-cluster shape but
+// trades radix for pod count: 32 pods is 32 DES shards, the axis the
+// conservative window protocol parallelizes over, while 256 hosts keeps a
+// full packet-granularity epoch tractable in CI.
+func TestDatacenterPacketConfigScale(t *testing.T) {
+	c := topology.DatacenterPacketConfig
+	if err := c.Validate(); err != nil {
+		t.Fatalf("packet config rejected: %v", err)
+	}
+	if got := c.Pods(); got < 32 {
+		t.Fatalf("Pods() = %d, want >= 32 (the sharding scale target)", got)
+	}
+	if got, want := c.Hosts(), 256; got != want {
+		t.Fatalf("Hosts() = %d, want %d", got, want)
+	}
+	if got, want := c.DirectedLinks(), 3584; got != want {
+		t.Fatalf("DirectedLinks() = %d, want %d", got, want)
+	}
+	topo, err := topology.NewDatacenter(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := topo.Cfg.Pods, c.Pods(); got != want {
+		t.Fatalf("flattened pods = %d, want %d", got, want)
+	}
+	// Every pod must land on its own shard at full width, so a 32-worker
+	// scheduler gets 32 singleton shards.
+	hostShard, _ := topo.ShardMap(c.Pods())
+	seen := make(map[int32]bool)
+	for _, sh := range hostShard {
+		seen[sh] = true
+	}
+	if len(seen) != c.Pods() {
+		t.Fatalf("host shards span %d shards, want %d", len(seen), c.Pods())
+	}
+}
+
 func TestDatacenterValidate(t *testing.T) {
 	bad := []topology.DatacenterConfig{
 		{Clusters: 0, PodsPerCluster: 1, ToRsPerPod: 2, T1PerPod: 2, T2: 2, HostsPerToR: 2},

@@ -157,6 +157,12 @@ var TestClusterTopology = topology.TestClusterConfig
 // scaling benchmarks; pair it with SimConfig.Incremental.
 var DatacenterSimTopology = topology.DatacenterSimConfig
 
+// DatacenterPacketTopology is the packet plane's datacenter fabric (8
+// clusters × 4 pods = 32 pods, 256 hosts, 3,584 directed links): every
+// packet is emulated individually, so it trades radix for pod count —
+// the axis the sharded DES parallelizes over.
+var DatacenterPacketTopology = topology.DatacenterPacketConfig
+
 // NewTopology builds a Clos topology.
 func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
 
