@@ -2,6 +2,12 @@
 // machine: emulated hosts run 007 agents over the packet fabric and ship
 // their vote reports to a centralized analysis collector over real
 // loopback TCP; the collector tallies each epoch and prints the verdicts.
+//
+// With -collector, vigil-agents instead becomes a remote reporter for a
+// vigild networked collector (vigild -collector-listen ...): it drives a
+// local engine and streams reports, cycle tokens and retransmissions over
+// a resumable transport session that survives partitions and collector
+// restarts.
 package main
 
 import (
@@ -13,8 +19,12 @@ import (
 
 	"vigil"
 	"vigil/internal/cluster"
+	"vigil/internal/engine"
+	"vigil/internal/ingest"
+	"vigil/internal/metrics"
 	"vigil/internal/prof"
 	"vigil/internal/runutil"
+	"vigil/internal/scenario"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
 	"vigil/internal/vote"
@@ -31,6 +41,10 @@ func main() {
 	conns := flag.Int("conns", 5, "connections per host per epoch")
 	seed := flag.Uint64("seed", 1, "random seed")
 	listen := flag.String("listen", "127.0.0.1:0", "collector listen address")
+	collector := flag.String("collector", "", "remote vigild collector address (switches to the resumable ingest transport)")
+	plane := flag.String("plane", "flow", "engine plane in -collector mode: flow or packet")
+	session := flag.Uint64("session", 0, "transport session ID in -collector mode")
+	grace := flag.Int("grace", 0, "collector grace window in -collector mode (0 = default 2)")
 	profiler = prof.Register()
 	flag.Parse()
 
@@ -42,6 +56,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vigil-agents:", err)
 		}
 	}()
+
+	if *collector != "" {
+		runIngestAgent(*collector, *plane, *session, *epochs, *failures, *grace, *rate, *seed)
+		return
+	}
 
 	em, err := vigil.NewEmulation(vigil.EmulationConfig{
 		Topo: must(vigil.NewTopology(vigil.TestClusterTopology)), Seed: *seed,
@@ -95,7 +114,7 @@ func main() {
 		}, 20*vigil.Second)
 		res := em.RunEpoch()
 		fmt.Printf("\nepoch %d: %d reports over TCP (%d total received)\n",
-			e, res.Tally.Flows(), srv.Received)
+			e, res.Tally.Flows(), srv.Received.Load())
 		for i, lv := range res.Ranking {
 			if i >= 5 {
 				break
@@ -113,6 +132,57 @@ func main() {
 			fmt.Printf("    %s\n", topo.LinkName(l))
 		}
 	}
+}
+
+// runIngestAgent is the -collector mode: drive a local engine and stream
+// its epochs to a remote vigild collector over the resumable transport.
+// The topology must match the collector's (vigild uses the same quick
+// config per plane), and the collector's grace window must match -grace.
+func runIngestAgent(addr, plane string, session uint64, epochs, failures, grace int, rate float64, seed uint64) {
+	pl := engine.Plane(plane)
+	if !pl.Valid() {
+		fail(fmt.Errorf("unknown plane %q (want flow or packet)", plane))
+	}
+	topoCfg := scenario.QuickTopo
+	if pl == engine.Packet {
+		topoCfg = scenario.PacketQuickTopo
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := engine.New(engine.Config{Plane: pl, Topo: topo, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	rng := stats.NewRNG(seed + 3)
+	pool := topo.LinksOfClass(topology.L1Down)
+	for i := 0; i < failures; i++ {
+		l := pool[rng.Intn(len(pool))]
+		if err := eng.InjectFailure(l, rate); err != nil {
+			fail(err)
+		}
+		fmt.Printf("injected %.1f%% loss on %s\n", rate*100, topo.LinkName(l))
+	}
+	ctr := &metrics.TransportCounters{}
+	ctx, stopSignals := runutil.SignalContext(context.Background())
+	defer stopSignals()
+	fmt.Printf("streaming %d epochs to %s (session %d)\n", epochs, addr, session)
+	err = ingest.RunAgent(ctx, ingest.AgentConfig{
+		Engine:   eng,
+		Addr:     addr,
+		Session:  session,
+		Grace:    grace,
+		Epochs:   epochs,
+		Seed:     seed,
+		Counters: ctr,
+	})
+	if err != nil && err != context.Canceled {
+		fail(err)
+	}
+	fmt.Printf("session done: %d frames sent (%d replayed), %d dials (%d failed), %d reconnects, %d resumes\n",
+		ctr.FramesSent.Load(), ctr.FramesResent.Load(), ctr.Dials.Load(),
+		ctr.DialFailures.Load(), ctr.Reconnects.Load(), ctr.Resumes.Load())
 }
 
 func must(t *vigil.Topology, err error) *vigil.Topology {

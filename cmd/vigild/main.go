@@ -17,6 +17,16 @@
 //	vigild -drop 0.05 -duplicate 0.02 -retries 1
 //	vigild -listen 127.0.0.1:9007            # serve /metrics while running
 //
+// With -collector-listen, vigild instead serves the networked ingest
+// transport (internal/transport): remote vigil-agents sessions stream
+// reports and cycle tokens over resumable TCP sessions, epochs settle on
+// the same watermark machinery, and -checkpoint makes the settle state
+// durable — a restarted vigild resumes mid-cycle from the checkpoint
+// without re-settling or dropping epochs:
+//
+//	vigild -collector-listen 127.0.0.1:9009 -checkpoint /var/run/vigild.ckpt \
+//	       -sessions 1 -listen 127.0.0.1:9007
+//
 // SIGINT or SIGTERM stops the epoch loop; every started epoch still
 // settles and the final counters are printed before exit. A second signal
 // force-kills.
@@ -74,6 +84,90 @@ func observeEpoch(exp *metrics.EpochExporter, topo *topology.Topology, res *engi
 	exp.ObserveConformance(scenarioName, metrics.ScoreDetection(res.Detected, res.FailedLinks))
 }
 
+// collectorMode bundles the networked-collector flags.
+type collectorMode struct {
+	addr, checkpoint, scenario, metricsAddr string
+	sessions, grace, retries, topK          int
+	quiet                                   bool
+	topo                                    *topology.Topology
+}
+
+// runCollector serves the networked ingest transport: remote agent
+// sessions drive the epochs; vigild settles, checkpoints, and exports.
+func runCollector(m collectorMode) {
+	ln, err := net.Listen("tcp", m.addr)
+	if err != nil {
+		fail(err)
+	}
+	exporter := metrics.NewEpochExporter(m.topK)
+	tctr := &metrics.TransportCounters{}
+	col, err := ingest.ServeCollector(ingest.CollectorConfig{
+		Listener:       ln,
+		Sessions:       m.sessions,
+		Grace:          m.grace,
+		MaxRetries:     m.retries,
+		CheckpointPath: m.checkpoint,
+		Transport:      tctr,
+		Sink: func(res *engine.EpochResult) {
+			observeEpoch(exporter, m.topo, res, m.scenario)
+			if m.quiet {
+				return
+			}
+			fmt.Printf("epoch %4d settled: %4d reports, %d detected, %d verdicts\n",
+				res.Epoch, len(res.Reports), len(res.Detected), len(res.Verdicts))
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ingest collector on %s (%d sessions", col.Addr(), m.sessions)
+	if m.checkpoint != "" {
+		fmt.Printf(", checkpoint %s", m.checkpoint)
+	}
+	fmt.Println(")")
+
+	var metricsSrv *http.Server
+	if m.metricsAddr != "" {
+		mln, err := net.Listen("tcp", m.metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			col.Counters().WritePrometheus(w)
+			tctr.WritePrometheus(w)
+			exporter.WritePrometheus(w)
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go metricsSrv.Serve(mln)
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	ctx, stopSignals := runutil.SignalContext(context.Background())
+	err = col.Wait(ctx)
+	stopSignals()
+	col.Close()
+	if err == context.Canceled {
+		fmt.Fprintln(os.Stderr, "vigild: interrupted; collector state is on the checkpoint")
+	}
+	if metricsSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		metricsSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	c := col.Counters()
+	fmt.Printf("\nsettled %d epochs: received %d, accepted %d, duplicates %d, lost %d, retries %d, recovered %d\n",
+		c.SettledEpochs.Load(), c.Received.Load(), c.Accepted.Load(),
+		c.Duplicates.Load(), c.Lost.Load(), c.Retries.Load(), c.Recovered.Load())
+	fmt.Printf("transport: %d frames in, %d dropped stale, %d acks, %d checkpoints, %d accept retries\n",
+		tctr.FramesReceived.Load(), tctr.FramesDropped.Load(), tctr.AcksSent.Load(),
+		tctr.Checkpoints.Load(), tctr.AcceptRetries.Load())
+	if err := profiler.Stop(); err != nil {
+		fail(err)
+	}
+}
+
 func main() {
 	plane := flag.String("plane", "flow", "evaluation plane: flow or packet")
 	epochs := flag.Int("epochs", 50, "epochs to run (0 = until SIGINT)")
@@ -87,6 +181,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-epoch lines")
 	scenarioLabel := flag.String("scenario", "static", "scenario label on the conformance gauges")
 	topK := flag.Int("top-links", 10, "ranked links exported per settled epoch")
+
+	collectorListen := flag.String("collector-listen", "", "serve the networked ingest transport on this address (empty = in-process engine)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for collector crash recovery (collector mode)")
+	sessions := flag.Int("sessions", 1, "agent sessions expected (collector mode)")
 
 	faultSeed := flag.Uint64("fault-seed", 1, "fault layer seed")
 	drop := flag.Float64("drop", 0, "report drop probability")
@@ -115,6 +213,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	if *collectorListen != "" {
+		runCollector(collectorMode{
+			addr: *collectorListen, checkpoint: *checkpoint, sessions: *sessions,
+			grace: *grace, retries: *retries, topK: *topK, quiet: *quiet,
+			scenario: *scenarioLabel, metricsAddr: *listen, topo: topo,
+		})
+		return
+	}
+
 	eng, err := engine.New(engine.Config{Plane: pl, Topo: topo, Seed: *seed})
 	if err != nil {
 		fail(err)

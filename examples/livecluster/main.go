@@ -1,128 +1,126 @@
-// Livecluster runs the paper's test-cluster evaluation (§7) end to end on
-// the packet plane: hosts with real 007 agents, traceroute probes through
-// the emulated fabric, vote reports over genuine loopback TCP to a
-// centralized collector, and EverFlow mirrors cross-validating every
-// discovered path (§8.2).
+// Livecluster runs the paper's deployment shape (Figure 2) split across a
+// real network boundary: a packet-plane engine drives emulated hosts whose
+// vote reports stream over the resumable ingest transport — loopback TCP
+// through a wire-level fault proxy — to a networked collector that settles
+// epochs on the watermark. Mid-run, the proxy severs every connection to
+// demonstrate the robustness headline: the agent session reconnects,
+// resumes from the collector's watermark, and every epoch still settles
+// exactly once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"sync"
 
-	"vigil"
-	"vigil/internal/cluster"
-	"vigil/internal/everflow"
+	"vigil/internal/engine"
+	"vigil/internal/ingest"
+	"vigil/internal/metrics"
+	"vigil/internal/scenario"
 	"vigil/internal/stats"
 	"vigil/internal/topology"
-	"vigil/internal/vote"
+	"vigil/internal/transport"
 )
 
 func main() {
-	topo, err := vigil.NewTopology(vigil.TestClusterTopology)
+	topo, err := topology.New(scenario.PacketQuickTopo)
 	if err != nil {
 		log.Fatal(err)
 	}
-	em, err := vigil.NewEmulation(vigil.EmulationConfig{Topo: topo, Seed: 21})
+	eng, err := engine.New(engine.Config{Plane: engine.Packet, Topo: topo, Seed: 21})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// EverFlow mirrors on all switches (ground truth oracle).
-	ef := everflow.New(topo, nil)
-	em.Net.AddTap(ef.Tap())
+	// The §7.3 experiment: two links with different drop rates.
+	hi := topo.LinksOfClass(topology.L1Down)[3]
+	lo := topo.LinksOfClass(topology.L1Down)[7]
+	if err := eng.InjectFailure(hi, 0.02); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.InjectFailure(lo, 0.01); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected 2%% on %s, 1%% on %s\n",
+		topo.LinkName(hi), topo.LinkName(lo))
 
-	// Reports travel over real loopback TCP, as in Figure 2.
+	// Collector end: the networked settle stage on loopback TCP.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := cluster.ServeCollector(em.Agent, ln)
-	defer srv.Close()
-	rep, err := cluster.DialReporter(srv.Addr())
+	const epochs = 4
+	var proxy *transport.Proxy
+	var cutOnce sync.Once
+	settled := 0
+	col, err := ingest.ServeCollector(ingest.CollectorConfig{
+		Listener: ln,
+		Sink: func(res *engine.EpochResult) {
+			settled++
+			fmt.Printf("epoch %d settled over the wire: %d reports, %d detected\n",
+				res.Epoch, len(res.Reports), len(res.Detected))
+			for i, lv := range res.Ranking {
+				if i >= 3 {
+					break
+				}
+				tag := ""
+				if lv.Link == hi {
+					tag = "  <-- 2% link"
+				}
+				if lv.Link == lo {
+					tag = "  <-- 1% link"
+				}
+				fmt.Printf("  #%d %6.2f  %s%s\n", i+1, lv.Votes, topo.LinkName(lv.Link), tag)
+			}
+			// Mid-run, sever every live connection: the session must
+			// reconnect, resume from the collector's watermark, and lose
+			// nothing.
+			cutOnce.Do(func() {
+				n := proxy.CutAll()
+				fmt.Printf("--- severed %d live connection(s) mid-run; agent must resume ---\n", n)
+			})
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rep.Close()
-	var reports []vote.Report
-	em.Reporter = func(r vote.Report) {
-		reports = append(reports, r)
-		if err := rep.Report(r); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("collector on %s\n", srv.Addr())
+	defer col.Close()
 
-	// The §7.3 experiment: two T1→ToR links with different drop rates.
-	hi := topo.LinksOfClass(vigil.L1Down)[9]
-	lo := topo.LinksOfClass(vigil.L1Down)[30]
-	if err := em.InjectFailure(hi, 0.002); err != nil {
+	// The wire between agent and collector runs through a fault proxy so
+	// the reconnect is a real TCP-level event, not a simulated one.
+	proxy, err = transport.NewProxy("127.0.0.1:0", transport.ProxyConfig{
+		Target: col.Addr(),
+		Seed:   stats.NewRNG(3).Uint64(),
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := em.InjectFailure(lo, 0.001); err != nil {
+	defer proxy.Close()
+	fmt.Printf("collector on %s, agents dial the fault proxy on %s\n\n",
+		col.Addr(), proxy.Addr())
+
+	// Agent end: drive the packet engine and stream everything over one
+	// resumable session.
+	ctr := &metrics.TransportCounters{}
+	if err := ingest.RunAgent(context.Background(), ingest.AgentConfig{
+		Engine:   eng,
+		Addr:     proxy.Addr(),
+		Epochs:   epochs,
+		Seed:     21,
+		Counters: ctr,
+	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("injected 0.2%% on %s, 0.1%% on %s\n\n",
-		vigil.LinkName(topo, hi), vigil.LinkName(topo, lo))
-
-	rng := stats.NewRNG(3)
-	for epoch := 0; epoch < 4; epoch++ {
-		em.StartWorkload(vigil.Workload{
-			Pattern:        vigil.UniformTraffic(),
-			ConnsPerHost:   vigil.IntRange{Lo: 6, Hi: 6},
-			PacketsPerFlow: vigil.IntRange{Lo: 50, Hi: 100},
-		}, 20*vigil.Second)
-		_ = rng
-		res := em.RunEpoch()
-		fmt.Printf("epoch %d: %d reports (%d over TCP). ranking:\n",
-			epoch, res.Tally.Flows(), srv.Received)
-		for i, lv := range res.Ranking {
-			if i >= 4 {
-				break
-			}
-			tag := ""
-			if lv.Link == hi {
-				tag = "  <-- 0.2% link"
-			}
-			if lv.Link == lo {
-				tag = "  <-- 0.1% link"
-			}
-			fmt.Printf("  #%d %6.2f  %s%s\n", i+1, lv.Votes, topo.LinkName(lv.Link), tag)
-		}
+	if err := col.Wait(context.Background()); err != nil {
+		log.Fatal(err)
 	}
 
-	// §8.2 cross-validation: every complete 007 path must equal the
-	// mirrored data path.
-	checked, matched := 0, 0
-	for _, r := range reports {
-		if r.Partial {
-			continue
-		}
-		var want []topology.LinkID
-		var ok bool
-		for _, f := range em.Flows() {
-			if f.ID() == r.FlowID {
-				want, ok = ef.PathOf(f.WireTuple())
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		checked++
-		if len(want) == len(r.Path) {
-			same := true
-			for i := range want {
-				if want[i] != r.Path[i] {
-					same = false
-					break
-				}
-			}
-			if same {
-				matched++
-			}
-		}
+	fmt.Printf("\n%d/%d epochs settled exactly once across %d injected cut(s): %d reconnect(s), %d resume(s), %d frame(s) replayed\n",
+		settled, epochs, proxy.InjCuts.Load(), ctr.Reconnects.Load(),
+		ctr.Resumes.Load(), ctr.FramesResent.Load())
+	if settled != epochs || ctr.Resumes.Load() < 1 {
+		log.Fatal("livecluster: expected every epoch settled and at least one resume")
 	}
-	fmt.Printf("\nEverFlow cross-validation: %d/%d discovered paths match the data path\n",
-		matched, checked)
 }

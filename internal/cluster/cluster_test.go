@@ -348,11 +348,11 @@ func TestLoopbackTCPReporting(t *testing.T) {
 		cl.StartFlow(f, des.Time(rng.Intn(int(5*des.Second))))
 	}
 	res := cl.RunEpoch()
-	if srv.Received == 0 {
+	if srv.Received.Load() == 0 {
 		t.Fatal("collector received nothing over TCP")
 	}
-	if int64(res.Tally.Flows()) != srv.Received {
-		t.Fatalf("tally flows %d != received %d", res.Tally.Flows(), srv.Received)
+	if int64(res.Tally.Flows()) != srv.Received.Load() {
+		t.Fatalf("tally flows %d != received %d", res.Tally.Flows(), srv.Received.Load())
 	}
 	if len(res.Ranking) == 0 || res.Ranking[0].Link != bad {
 		t.Fatalf("TCP-delivered analysis wrong: top = %+v", res.Ranking[0])

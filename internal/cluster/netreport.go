@@ -3,9 +3,13 @@ package cluster
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vigil/internal/analysis"
 	"vigil/internal/topology"
@@ -16,7 +20,9 @@ import (
 // deployment shape of Figure 2, where host agents report to a centralized
 // analysis service. The protocol is JSON lines with a one-byte
 // acknowledgement per report, which keeps epoch boundaries exact: when a
-// send returns, the collector has the report.
+// send returns, the collector has the report. (The resumable, checkpointed
+// ingest transport lives in internal/transport; this simpler protocol
+// remains for batch-style agents that want per-report acknowledgement.)
 
 // wireReport is the on-the-wire form of vote.Report. Epoch and seq carry
 // the report's stable identity so a streaming collector can detect gaps
@@ -63,9 +69,11 @@ type CollectorServer struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	Received int64
+	mu     sync.Mutex
+	closed bool
+
+	// Received counts acknowledged reports; read it with Received.Load.
+	Received atomic.Int64
 }
 
 // ServeCollector starts a collector on ln; it owns the listener.
@@ -79,13 +87,32 @@ func ServeCollector(agent *analysis.Agent, ln net.Listener) *CollectorServer {
 // Addr returns the listen address.
 func (s *CollectorServer) Addr() string { return s.ln.Addr().String() }
 
+func (s *CollectorServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// acceptLoop accepts until the listener closes. A transient Accept error
+// (ECONNABORTED, EMFILE under fd pressure, ...) must not kill the
+// collector's only front door, so errors are retried with capped
+// exponential backoff; only listener closure ends the loop.
 func (s *CollectorServer) acceptLoop() {
 	defer s.wg.Done()
+	backoff := time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
 		}
+		backoff = time.Millisecond
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -102,9 +129,7 @@ func (s *CollectorServer) handle(conn net.Conn) {
 			return
 		}
 		s.agent.Submit(fromWire(w))
-		s.mu.Lock()
-		s.Received++
-		s.mu.Unlock()
+		s.Received.Add(1)
 		if _, err := conn.Write([]byte{'.'}); err != nil {
 			return
 		}
@@ -128,30 +153,59 @@ func (s *CollectorServer) Close() error {
 // TCPReporter ships reports to a collector over TCP, one acknowledged
 // JSON line per report. Safe for concurrent use.
 type TCPReporter struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	ack  [1]byte
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	ack     [1]byte
+	timeout time.Duration
 }
 
-// DialReporter connects to a collector.
+// DialReporter connects to a collector with the given dial timeout (0
+// means 5s). The connection starts with a matching I/O timeout on each
+// Report; adjust with SetTimeout.
 func DialReporter(addr string) (*TCPReporter, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialReporterTimeout(addr, 0)
+}
+
+// DialReporterTimeout connects to a collector, bounding the dial by
+// timeout (0 means 5s).
+func DialReporterTimeout(addr string, timeout time.Duration) (*TCPReporter, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dialing collector: %w", err)
 	}
-	return &TCPReporter{conn: conn, enc: json.NewEncoder(conn)}, nil
+	return &TCPReporter{conn: conn, enc: json.NewEncoder(conn), timeout: 30 * time.Second}, nil
+}
+
+// SetTimeout bounds each Report's write and acknowledgement read — a hung
+// collector then surfaces as a timeout error instead of blocking the
+// reporter (and everyone queued on its mutex) forever. 0 disables the
+// deadlines.
+func (t *TCPReporter) SetTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.timeout = d
+	t.mu.Unlock()
 }
 
 // Report sends one report and waits for the collector's acknowledgement.
 func (t *TCPReporter) Report(r vote.Report) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
+	} else {
+		t.conn.SetDeadline(time.Time{})
+	}
 	if err := t.enc.Encode(toWire(r)); err != nil {
 		return err
 	}
-	_, err := t.conn.Read(t.ack[:])
-	return err
+	if _, err := io.ReadFull(t.conn, t.ack[:]); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Close tears the connection down.

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vigil/internal/analysis"
+	"vigil/internal/topology"
+	"vigil/internal/vote"
+)
+
+func newCollector(t *testing.T) (*CollectorServer, *analysis.Agent) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := analysis.NewAgent(analysis.Options{})
+	s := ServeCollector(agent, ln)
+	t.Cleanup(func() { s.Close() })
+	return s, agent
+}
+
+func testReport(epoch, seq int32) vote.Report {
+	return vote.Report{
+		FlowID: int64(epoch)<<16 | int64(seq),
+		Src:    topology.HostID(1), Dst: topology.HostID(2),
+		Path: []topology.LinkID{3, 4, 5}, Retx: 1,
+		Epoch: epoch, Seq: seq,
+	}
+}
+
+// poll spins until cond holds or the deadline passes.
+func poll(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A connection that turns to garbage mid-stream loses only itself: the
+// reports acknowledged before the corruption stay counted exactly once,
+// the connection is closed, and fresh reporters are unaffected.
+func TestMalformedJSONMidStream(t *testing.T) {
+	s, agent := newCollector(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(toWire(testReport(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("{\"flow_id\": not json at all")); err != nil {
+		t.Fatal(err)
+	}
+	// The collector must abandon the stream: the next read sees EOF, not a
+	// resynchronized decoder limping along.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, ack); err == nil {
+		t.Fatal("collector kept the connection alive past malformed JSON")
+	}
+	if got := s.Received.Load(); got != 1 {
+		t.Fatalf("Received = %d, want 1 (only the acknowledged report)", got)
+	}
+	if got := agent.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+
+	// A fresh reporter connects and reports as if nothing happened.
+	rep, err := DialReporter(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.Report(testReport(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Received.Load(); got != 2 {
+		t.Fatalf("Received = %d after fresh reporter, want 2", got)
+	}
+}
+
+// A report truncated by connection loss mid-object is never submitted —
+// half a report must not count.
+func TestTruncatedJSONThenClose(t *testing.T) {
+	s, agent := newCollector(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole []byte
+	if whole, err = json.Marshal(toWire(testReport(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(whole[:len(whole)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Give the handler time to hit the decode error; the counts must not
+	// move.
+	time.Sleep(50 * time.Millisecond)
+	if got := s.Received.Load(); got != 0 {
+		t.Fatalf("Received = %d for a truncated report, want 0", got)
+	}
+	if got := agent.Pending(); got != 0 {
+		t.Fatalf("Pending = %d for a truncated report, want 0", got)
+	}
+}
+
+// A connection cut between the collector's decode and the reporter reading
+// the ack counts the report exactly once: the submit already happened, and
+// nothing re-submits it.
+func TestCutBetweenDecodeAndAck(t *testing.T) {
+	s, agent := newCollector(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(conn).Encode(toWire(testReport(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	// Close without reading the ack: the collector's ack write lands on a
+	// dying connection.
+	conn.Close()
+	poll(t, "the report to be counted", func() bool { return s.Received.Load() == 1 })
+	time.Sleep(50 * time.Millisecond)
+	if got := s.Received.Load(); got != 1 {
+		t.Fatalf("Received = %d, want exactly 1 — the cut must not double-count", got)
+	}
+	if got := agent.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want exactly 1", got)
+	}
+}
+
+// Concurrent reporters land every report exactly once: distinct identities
+// in, the same number pending.
+func TestConcurrentReporters(t *testing.T) {
+	s, agent := newCollector(t)
+	const reporters, perReporter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, reporters)
+	for i := 0; i < reporters; i++ {
+		wg.Add(1)
+		go func(agentID int) {
+			defer wg.Done()
+			rep, err := DialReporter(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rep.Close()
+			for seq := 0; seq < perReporter; seq++ {
+				r := testReport(0, int32(seq))
+				r.Src = topology.HostID(agentID)
+				if err := rep.Report(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	const want = reporters * perReporter
+	if got := s.Received.Load(); got != want {
+		t.Fatalf("Received = %d, want %d", got, want)
+	}
+	if got := agent.Pending(); got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+}
+
+// A collector that accepts a report but never acknowledges it must surface
+// as a timeout at the reporter, not a hang.
+func TestReporterTimeoutOnSilentCollector(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Drain forever, ack never.
+		io.Copy(io.Discard, conn)
+	}()
+	rep, err := DialReporterTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	rep.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	if err := rep.Report(testReport(0, 0)); err == nil {
+		t.Fatal("Report returned nil against a collector that never acks")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Report took %v to fail; the 50ms deadline did not bound it", elapsed)
+	}
+}
+
+// flakyAcceptListener fails the first n Accepts with a transient error,
+// then delegates to the real listener.
+type flakyAcceptListener struct {
+	net.Listener
+	mu   sync.Mutex
+	fail int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "transient accept failure" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyAcceptListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fail > 0 {
+		l.fail--
+		l.mu.Unlock()
+		return nil, tempErr{}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// Transient Accept errors must not kill the collector's only front door:
+// after a burst of failures the accept loop recovers and serves normally.
+func TestAcceptBackoffSurvivesTransientErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := analysis.NewAgent(analysis.Options{})
+	s := ServeCollector(agent, &flakyAcceptListener{Listener: inner, fail: 3})
+	defer s.Close()
+
+	rep, err := DialReporter(inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.Report(testReport(0, 0)); err != nil {
+		t.Fatalf("report after transient accept errors: %v", err)
+	}
+	if got := s.Received.Load(); got != 1 {
+		t.Fatalf("Received = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"vigil/internal/analysis"
 	"vigil/internal/engine"
+	"vigil/internal/metrics"
 	"vigil/internal/topology"
 	"vigil/internal/vote"
 )
@@ -160,16 +161,7 @@ func (s *Service) endCycle(st *collectorState, cycle int32) {
 		retries = s.collectRetries(eps, cycle, retries)
 	}
 	// Deterministic retransmission order across the map iteration.
-	sort.Slice(retries, func(i, j int) bool {
-		a, b := retries[i].id, retries[j].id
-		if a.Epoch != b.Epoch {
-			return a.Epoch < b.Epoch
-		}
-		if a.Agent != b.Agent {
-			return a.Agent < b.Agent
-		}
-		return a.Seq < b.Seq
-	})
+	sortRetries(retries)
 	if sEpoch := cycle - int32(s.grace); sEpoch >= 0 {
 		s.settle(st, sEpoch)
 	}
@@ -197,6 +189,13 @@ func (eps *epochState) sealExpectedInto(missing map[vote.ReportID]struct{}) {
 }
 
 func (s *Service) sealExpected(eps *epochState) {
+	sealEpochGaps(eps)
+}
+
+// sealEpochGaps computes the epoch's initial missing set and schedules the
+// first re-request round — shared by the in-process and networked
+// collectors.
+func sealEpochGaps(eps *epochState) {
 	eps.missing = make(map[vote.ReportID]struct{})
 	eps.sealExpectedInto(eps.missing)
 	eps.nextRetry = eps.epoch // due immediately, at this cycle's end
@@ -205,16 +204,37 @@ func (s *Service) sealExpected(eps *epochState) {
 // collectRetries appends the epoch's due re-requests, honoring the retry
 // budget and linear backoff.
 func (s *Service) collectRetries(eps *epochState, cycle int32, out []retryReq) []retryReq {
-	if len(eps.missing) == 0 || eps.attempts >= s.cfg.MaxRetries || cycle < eps.nextRetry {
+	return collectRetriesFor(eps, cycle, s.cfg.MaxRetries, s.backoff, s.ctr, out)
+}
+
+// collectRetriesFor is the shared retry-budget engine: one round per call
+// at most, linear backoff between rounds, every still-missing identity
+// re-requested in the round.
+func collectRetriesFor(eps *epochState, cycle int32, maxRetries, backoff int, ctr *metrics.IngestCounters, out []retryReq) []retryReq {
+	if len(eps.missing) == 0 || eps.attempts >= maxRetries || cycle < eps.nextRetry {
 		return out
 	}
 	eps.attempts++
-	eps.nextRetry = cycle + 1 + int32((eps.attempts-1)*s.backoff)
+	eps.nextRetry = cycle + 1 + int32((eps.attempts-1)*backoff)
 	for id := range eps.missing {
 		out = append(out, retryReq{id: id, attempt: uint8(eps.attempts)})
 	}
-	s.ctr.Retries.Add(int64(len(eps.missing)))
+	ctr.Retries.Add(int64(len(eps.missing)))
 	return out
+}
+
+// sortRetries orders re-requests deterministically across map iteration.
+func sortRetries(retries []retryReq) {
+	sort.Slice(retries, func(i, j int) bool {
+		a, b := retries[i].id, retries[j].id
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Agent != b.Agent {
+			return a.Agent < b.Agent
+		}
+		return a.Seq < b.Seq
+	})
 }
 
 // settle closes epoch e: whatever is still missing is lost, the accepted

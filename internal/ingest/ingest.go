@@ -292,7 +292,14 @@ func (s *Service) emitRetries() {
 
 // lookup finds a report by identity in the ring's canonical report list.
 func (s *Service) lookup(id vote.ReportID) (vote.Report, bool) {
-	res := s.ring[int(id.Epoch)%len(s.ring)]
+	return lookupReport(s.ring, id)
+}
+
+// lookupReport finds a report by identity in a ring of Step results —
+// shared by the in-process source and the networked agent for
+// retransmissions.
+func lookupReport(ring []*engine.EpochResult, id vote.ReportID) (vote.Report, bool) {
+	res := ring[int(id.Epoch)%len(ring)]
 	if res == nil || res.Epoch != int(id.Epoch) {
 		return vote.Report{}, false
 	}

@@ -1,0 +1,655 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"vigil/internal/analysis"
+	"vigil/internal/engine"
+	"vigil/internal/metrics"
+	"vigil/internal/topology"
+	"vigil/internal/transport"
+	"vigil/internal/vote"
+)
+
+// This file is the networked face of the ingest pipeline: the same
+// gap-detection, bounded-retry, grace-window settle machinery as the
+// in-process Service, but with the agent and the collector on opposite
+// ends of a transport session instead of opposite ends of a channel.
+// RunAgent is the reporter side (drives the engine, ships reports and
+// cycle tokens, answers re-requests); ServeCollector is the vigild side
+// (settles epochs, checkpoints durability, survives crashes). The
+// transport layer below deduplicates and resequences, so this layer sees
+// exactly the at-most-once in-order stream the in-process collector sees —
+// which is why a fault-free networked run settles bit-identical to both
+// the in-process Service and batch RunEpoch.
+
+// AgentConfig parametrizes a networked reporter session.
+type AgentConfig struct {
+	// Engine is the epoch driver; required. Its analysis options must be
+	// wire-expressible: Detect.Topo and Detect.Adjuster must be nil (they
+	// cannot be serialized; the collector rebuilds its analyzer from the
+	// ThresholdFrac/MaxLinks carried in the handshake).
+	Engine engine.Engine
+	// Addr is the collector (or chaos proxy) address; required.
+	Addr string
+	// Session identifies this reporter across reconnects; stable for the
+	// run. 0 is valid.
+	Session uint64
+	// Grace must equal the collector's grace window: the agent runs
+	// Grace+1 drain cycles after its last epoch so every started epoch
+	// crosses the settle watermark. 0 means the default of 2.
+	Grace int
+	// Epochs is the number of live epochs to run; must be positive.
+	Epochs int
+	// Interval, when positive, paces the epoch loop on the wall clock.
+	Interval time.Duration
+	// Seed derives reconnect jitter.
+	Seed uint64
+	// Transport tunes the session; Addr/Session/ThresholdFrac/MaxLinks/
+	// Seed are filled in from this config and the engine.
+	Transport transport.ClientConfig
+	// Counters receives the session's transport counters; one is
+	// allocated when nil.
+	Counters *metrics.TransportCounters
+}
+
+// buildToken assembles the cycle token for a live epoch: per-agent
+// expected counts (contiguous runs over the canonical report order) plus
+// the epoch summary the collector settles against.
+func buildToken(cycle int32, res *engine.EpochResult) transport.Token {
+	t := transport.Token{Cycle: cycle, Live: true}
+	rs := res.Reports
+	for i := 0; i < len(rs); {
+		j := i
+		for j < len(rs) && rs[j].Src == rs[i].Src {
+			j++
+		}
+		t.Counts = append(t.Counts, transport.AgentCount{Agent: rs[i].Src, N: int32(j - i)})
+		i = j
+	}
+	sum := &transport.EpochSummary{
+		Epoch:       int32(res.Epoch),
+		TotalFlows:  int32(res.TotalFlows),
+		FailedFlows: int32(res.FailedFlows),
+		TotalDrops:  int32(res.TotalDrops),
+		HasFailed:   res.FailedLinks != nil,
+		HasTruth:    res.Truth != nil,
+	}
+	if sum.HasFailed {
+		sum.FailedLinks = append([]topology.LinkID{}, res.FailedLinks...)
+	}
+	if sum.HasTruth {
+		sum.Truth = make([]transport.TruthEntry, 0, len(res.Truth))
+		for id, ft := range res.Truth {
+			sum.Truth = append(sum.Truth, transport.TruthEntry{
+				FlowID: id, Culprit: ft.Culprit, CrossedFailure: ft.CrossedFailure,
+			})
+		}
+		sort.Slice(sum.Truth, func(i, j int) bool { return sum.Truth[i].FlowID < sum.Truth[j].FlowID })
+	}
+	t.Summary = sum
+	return t
+}
+
+// RunAgent drives cfg.Epochs engine epochs over a resumable transport
+// session: each cycle it retransmits the collector's re-requests, streams
+// the epoch's reports, ships the cycle token, and waits for the lockstep
+// cycle-end; then Grace+1 drain cycles push every epoch across the settle
+// watermark, and the session closes cleanly. Connection loss anywhere —
+// partition, cut, collector restart — is absorbed by the transport's
+// resume protocol; RunAgent returns early only on ctx cancellation or a
+// protocol-level failure (e.g. the send window overflowing).
+func RunAgent(ctx context.Context, cfg AgentConfig) error {
+	if cfg.Engine == nil {
+		return fmt.Errorf("ingest: AgentConfig.Engine is required")
+	}
+	if cfg.Epochs <= 0 {
+		return fmt.Errorf("ingest: AgentConfig.Epochs must be positive")
+	}
+	an := cfg.Engine.Analysis()
+	if an.Detect.Topo != nil || an.Detect.Adjuster != nil {
+		return fmt.Errorf("ingest: networked agents require wire-expressible analysis options (Detect.Topo and Detect.Adjuster must be nil)")
+	}
+	grace := cfg.Grace
+	if grace == 0 {
+		grace = 2
+	}
+	tc := cfg.Transport
+	tc.Addr = cfg.Addr
+	tc.Session = cfg.Session
+	tc.ThresholdFrac = an.Detect.ThresholdFrac
+	tc.MaxLinks = int32(an.Detect.MaxLinks)
+	if tc.Seed == 0 {
+		tc.Seed = cfg.Seed
+	}
+	if tc.Counters == nil {
+		tc.Counters = cfg.Counters
+	}
+	cli, err := transport.NewClient(tc)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	eng := cfg.Engine
+	ring := make([]*engine.EpochResult, grace+2)
+	var pending []transport.RetryReq
+	emitRetries := func() error {
+		for _, q := range pending {
+			id := vote.ReportID{Agent: q.Agent, Epoch: q.Epoch, Seq: q.Seq}
+			if r, ok := lookupReport(ring, id); ok {
+				if err := cli.SendReport(ctx, r, q.Attempt); err != nil {
+					return err
+				}
+			}
+		}
+		pending = nil
+		return nil
+	}
+
+	cycle := int32(0)
+	for int(cycle) < cfg.Epochs {
+		if cfg.Interval > 0 && cycle > 0 {
+			t := time.NewTimer(cfg.Interval)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+		if err := emitRetries(); err != nil {
+			return err
+		}
+		var sendErr error
+		res := eng.Step(func(r vote.Report) {
+			if sendErr == nil {
+				sendErr = cli.SendReport(ctx, r, 0)
+			}
+		})
+		if sendErr != nil {
+			return sendErr
+		}
+		ring[int(cycle)%len(ring)] = res
+		if err := cli.SendToken(ctx, buildToken(cycle, res)); err != nil {
+			return err
+		}
+		ce, err := cli.WaitCycleEnd(ctx, cycle)
+		if err != nil {
+			return err
+		}
+		pending = ce.Retries
+		cycle++
+	}
+	// Drain: push the watermark across every started epoch, still
+	// answering re-requests along the way.
+	for d := 0; d < grace+1; d++ {
+		if err := emitRetries(); err != nil {
+			return err
+		}
+		if err := cli.SendToken(ctx, transport.Token{Cycle: cycle, Live: false}); err != nil {
+			return err
+		}
+		ce, err := cli.WaitCycleEnd(ctx, cycle)
+		if err != nil {
+			return err
+		}
+		pending = ce.Retries
+		cycle++
+	}
+	return nil
+}
+
+// CollectorConfig parametrizes the networked collector.
+type CollectorConfig struct {
+	// Listener is the accept socket; required (use net.Listen("tcp",
+	// "127.0.0.1:0") in tests). The collector owns it.
+	Listener net.Listener
+	// Sessions is the number of reporter sessions; a cycle completes when
+	// every session's token for it has been processed. 0 means 1.
+	Sessions int
+	// Grace, MaxRetries, RetryBackoff mirror the in-process Config fields
+	// (same defaults, same semantics).
+	Grace        int
+	MaxRetries   int
+	RetryBackoff int
+	// Parallelism caps the settle-time analysis workers; results are
+	// identical at every setting.
+	Parallelism int
+	// CheckpointPath enables crash recovery; see transport.ServerConfig.
+	CheckpointPath string
+	// QueueDepth bounds the transport→collector event channel; a full
+	// channel backpressures into TCP. 0 means 1024.
+	QueueDepth int
+	// ReadTimeout/WriteTimeout tune the transport server deadlines.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Sink receives each settled epoch, in epoch order, on the collector
+	// goroutine — before the settle is checkpointed, so a crash inside
+	// the sink re-delivers on restart (at-least-once at the sink; the
+	// epoch number makes downstream dedupe trivial).
+	Sink func(*engine.EpochResult)
+	// Counters receives ingest-level state; allocated when nil.
+	Counters *metrics.IngestCounters
+	// Transport receives wire-level state; allocated when nil.
+	Transport *metrics.TransportCounters
+}
+
+type netEventKind uint8
+
+const (
+	evHello netEventKind = iota
+	evReport
+	evToken
+	evBye
+)
+
+type netEvent struct {
+	kind    netEventKind
+	sess    uint64
+	seq     uint64
+	r       vote.Report
+	attempt uint8
+	hello   transport.Hello
+	tok     transport.Token
+}
+
+// NetCollector is the networked settle stage: the in-process collector's
+// per-(agent, epoch) machinery fed by transport sessions instead of lanes,
+// with per-session durable watermarks committed at every settle.
+type NetCollector struct {
+	cfg      CollectorConfig
+	ctr      *metrics.IngestCounters
+	grace    int
+	sessions int
+	maxRet   int
+	backoff  int
+	srv      *transport.Server
+
+	ev       chan netEvent
+	quit     chan struct{}
+	loopDone chan struct{}
+
+	// Collector goroutine state (single-threaded).
+	open        map[int32]*epochState
+	summaries   map[int32]*transport.EpochSummary
+	tokens      map[int32]int               // sessions heard, per cycle
+	tokenSeq    map[int32]map[uint64]uint64 // cycle → session → token frame seq
+	agentSess   map[topology.HostID]uint64  // agent → owning session
+	sessSeen    map[uint64]struct{}
+	lastSettled int32
+	maxLive     int32
+	nextEnd     int32 // next cycle whose completion runs endCycle
+	byes        int
+	an          analysis.Options
+	anSet       bool
+}
+
+// ServeCollector starts a networked collector. If a checkpoint exists at
+// cfg.CheckpointPath, the collector resumes mid-cycle: sessions replay
+// every frame past their durable watermark, which rebuilds the open
+// epochs' reports, expected counts and summaries; settled epochs stay
+// settled (replayed stragglers for them are dropped as late).
+func ServeCollector(cfg CollectorConfig) (*NetCollector, error) {
+	if cfg.Listener == nil {
+		return nil, fmt.Errorf("ingest: CollectorConfig.Listener is required")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Grace == 0 {
+		cfg.Grace = 2
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 1
+	}
+	if cfg.MaxRetries > 255 {
+		cfg.MaxRetries = 255
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1024
+	}
+	c := &NetCollector{
+		cfg:       cfg,
+		ctr:       cfg.Counters,
+		grace:     cfg.Grace,
+		sessions:  cfg.Sessions,
+		maxRet:    cfg.MaxRetries,
+		backoff:   cfg.RetryBackoff,
+		ev:        make(chan netEvent, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		open:      make(map[int32]*epochState),
+		summaries: make(map[int32]*transport.EpochSummary),
+		tokens:    make(map[int32]int),
+		tokenSeq:  make(map[int32]map[uint64]uint64),
+		agentSess: make(map[topology.HostID]uint64),
+		sessSeen:  make(map[uint64]struct{}),
+	}
+	if c.ctr == nil {
+		c.ctr = &metrics.IngestCounters{}
+	}
+	srv, err := transport.Serve(transport.ServerConfig{
+		Listener:       cfg.Listener,
+		Handler:        (*netHandler)(c),
+		Sessions:       cfg.Sessions,
+		CheckpointPath: cfg.CheckpointPath,
+		AppFresh:       -1,
+		ReadTimeout:    cfg.ReadTimeout,
+		WriteTimeout:   cfg.WriteTimeout,
+		Counters:       cfg.Transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.srv = srv
+	c.lastSettled = int32(srv.AppState())
+	c.maxLive = c.lastSettled
+	if c.lastSettled >= 0 {
+		c.nextEnd = c.lastSettled + int32(c.grace) + 1
+		// The crash may have landed between checkpointing a settle and
+		// delivering its cycle-end; re-offer the newest completed cycle's
+		// end (with no retries — any pre-crash re-requests surface as
+		// Lost, which conservation accounts for) so no agent stays stuck.
+		// Agents that already saw it ignore the stale re-send.
+		for _, id := range srv.SessionIDs() {
+			c.sessSeen[id] = struct{}{}
+			srv.SendCycleEnd(id, transport.CycleEnd{Cycle: c.nextEnd - 1})
+		}
+	}
+	go c.loop()
+	return c, nil
+}
+
+// netHandler adapts transport callbacks onto the collector's event
+// channel without exporting the Handler methods on NetCollector itself.
+type netHandler NetCollector
+
+func (h *netHandler) post(e netEvent) {
+	select {
+	case h.ev <- e:
+	case <-h.quit:
+	}
+}
+
+func (h *netHandler) OnHello(sess uint64, hello transport.Hello) {
+	h.post(netEvent{kind: evHello, sess: sess, hello: hello})
+}
+
+func (h *netHandler) OnReport(sess uint64, r vote.Report, attempt uint8) {
+	h.post(netEvent{kind: evReport, sess: sess, r: r, attempt: attempt})
+}
+
+func (h *netHandler) OnToken(sess uint64, seq uint64, t transport.Token) {
+	h.post(netEvent{kind: evToken, sess: sess, seq: seq, tok: t})
+}
+
+func (h *netHandler) OnBye(sess uint64) {
+	h.post(netEvent{kind: evBye, sess: sess})
+}
+
+// Addr returns the listen address.
+func (c *NetCollector) Addr() string { return c.srv.Addr() }
+
+// Counters returns the live ingest counters.
+func (c *NetCollector) Counters() *metrics.IngestCounters { return c.ctr }
+
+// TransportCounters returns the live wire-level counters.
+func (c *NetCollector) TransportCounters() *metrics.TransportCounters { return c.srv.Counters() }
+
+// Wait blocks until every session has closed cleanly (or ctx ends).
+func (c *NetCollector) Wait(ctx context.Context) error {
+	select {
+	case <-c.loopDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close tears the collector down without a final checkpoint — state
+// beyond the last settle-time Commit is exactly what crash recovery
+// rebuilds, so Close mid-run IS the simulated crash.
+func (c *NetCollector) Close() error {
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	return c.srv.Close()
+}
+
+func (c *NetCollector) loop() {
+	defer close(c.loopDone)
+	for {
+		select {
+		case e := <-c.ev:
+			c.handle(e)
+			if c.byes >= c.sessions {
+				return
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (c *NetCollector) handle(e netEvent) {
+	switch e.kind {
+	case evHello:
+		c.sessSeen[e.sess] = struct{}{}
+		if !c.anSet {
+			c.an = analysis.Options{
+				Detect: vote.DetectOptions{
+					ThresholdFrac: e.hello.ThresholdFrac,
+					MaxLinks:      int(e.hello.MaxLinks),
+				},
+				Parallelism: c.cfg.Parallelism,
+			}
+			c.anSet = true
+		}
+	case evReport:
+		c.handleReport(e.sess, e.r, e.attempt)
+	case evToken:
+		c.handleToken(e.sess, e.seq, e.tok)
+	case evBye:
+		c.byes++
+	}
+}
+
+// epochFor returns (creating if needed) the open state for epoch e.
+func (c *NetCollector) epochFor(e int32) *epochState {
+	eps := c.open[e]
+	if eps == nil {
+		eps = &epochState{epoch: e, agents: make(map[topology.HostID]*agentEpoch)}
+		c.open[e] = eps
+	}
+	return eps
+}
+
+// handleReport admits one report — the networked twin of
+// Service.onReport. The transport has already deduplicated the wire
+// (replays, proxy-injected duplicates of the same frame), so duplicates
+// seen here are ingest-level ones: the same identity re-sent as a retry
+// answer that crossed its own recovery.
+func (c *NetCollector) handleReport(sess uint64, r vote.Report, attempt uint8) {
+	c.ctr.Received.Add(1)
+	if r.Epoch <= c.lastSettled {
+		c.ctr.LateDropped.Add(1)
+		return
+	}
+	c.agentSess[r.Src] = sess
+	eps := c.epochFor(r.Epoch)
+	ag := eps.agents[r.Src]
+	if ag == nil {
+		ag = &agentEpoch{expected: -1}
+		eps.agents[r.Src] = ag
+	}
+	if ag.mark(r.Seq) {
+		c.ctr.Duplicates.Add(1)
+		return
+	}
+	c.ctr.Accepted.Add(1)
+	if eps.missing != nil {
+		id := r.ID()
+		if _, was := eps.missing[id]; was {
+			delete(eps.missing, id)
+			if attempt > 0 {
+				c.ctr.Recovered.Add(1)
+			}
+		}
+	}
+	eps.accepted = append(eps.accepted, r)
+}
+
+// handleToken merges one session's cycle token. Tokens replayed after a
+// restart rebuild open epochs' expected counts and summaries without
+// re-firing already-completed cycles: only cycles at or past nextEnd count
+// toward completion, and completion fires strictly in cycle order.
+func (c *NetCollector) handleToken(sess uint64, seq uint64, t transport.Token) {
+	c.sessSeen[sess] = struct{}{}
+	if t.Cycle > c.lastSettled {
+		if len(t.Counts) > 0 {
+			eps := c.epochFor(t.Cycle)
+			for _, ac := range t.Counts {
+				c.agentSess[ac.Agent] = sess
+				ag := eps.agents[ac.Agent]
+				if ag == nil {
+					ag = &agentEpoch{expected: -1}
+					eps.agents[ac.Agent] = ag
+				}
+				ag.expected = ac.N
+				eps.expected += int64(ac.N)
+			}
+		}
+		if t.Summary != nil && c.summaries[t.Cycle] == nil {
+			c.summaries[t.Cycle] = t.Summary
+		}
+		m := c.tokenSeq[t.Cycle]
+		if m == nil {
+			m = make(map[uint64]uint64, c.sessions)
+			c.tokenSeq[t.Cycle] = m
+		}
+		m[sess] = seq
+	}
+	if t.Live && t.Cycle > c.maxLive {
+		c.maxLive = t.Cycle
+	}
+	if t.Cycle < c.nextEnd {
+		return // replayed token for an already-completed cycle
+	}
+	c.tokens[t.Cycle]++
+	for c.tokens[c.nextEnd] >= c.sessions {
+		cycle := c.nextEnd
+		delete(c.tokens, cycle)
+		c.nextEnd++
+		c.endCycle(cycle)
+	}
+}
+
+// endCycle mirrors Service.endCycle: seal the completed cycle's epoch,
+// collect due re-requests across open epochs, settle the epoch crossing
+// the watermark, then fan the cycle-end (with each session's retries) out
+// to every session.
+func (c *NetCollector) endCycle(cycle int32) {
+	if eps := c.open[cycle]; eps != nil {
+		sealEpochGaps(eps)
+	}
+	var retries []retryReq
+	for _, eps := range c.open {
+		retries = collectRetriesFor(eps, cycle, c.maxRet, c.backoff, c.ctr, retries)
+	}
+	sortRetries(retries)
+	if e := cycle - int32(c.grace); e >= 0 {
+		c.settle(e)
+	}
+	c.ctr.OpenEpochs.Store(int64(len(c.open)))
+	c.ctr.WatermarkLag.Store(int64(cycle - c.lastSettled))
+	c.ctr.QueueDepth.Store(int64(len(c.ev)))
+
+	perSess := make(map[uint64][]transport.RetryReq)
+	for _, q := range retries {
+		sess, ok := c.agentSess[q.id.Agent]
+		if !ok {
+			continue // unreachable: missing identities come from session tokens
+		}
+		perSess[sess] = append(perSess[sess], transport.RetryReq{
+			Agent: q.id.Agent, Epoch: q.id.Epoch, Seq: q.id.Seq, Attempt: q.attempt,
+		})
+	}
+	for sess := range c.sessSeen {
+		c.srv.SendCycleEnd(sess, transport.CycleEnd{Cycle: cycle, Retries: perSess[sess]})
+	}
+}
+
+// settle closes epoch e exactly once across collector incarnations: the
+// conservation invariant is asserted, the accepted reports are analyzed
+// with the handshake-derived options, the result goes to the sink, and
+// THEN the settle is committed — checkpoint plus durable acks up to each
+// session's token for e — so a crash at any point either re-settles e
+// from replay (sink sees it again, dedupable by epoch) or finds it
+// durably behind the watermark.
+func (c *NetCollector) settle(e int32) {
+	if e <= c.lastSettled {
+		return
+	}
+	eps := c.open[e]
+	delete(c.open, e)
+	c.lastSettled = e
+	sum := c.summaries[e]
+	delete(c.summaries, e)
+	marks := c.tokenSeq[e]
+	delete(c.tokenSeq, e)
+	if e > c.maxLive {
+		// A drain cycle: nothing was expected; still commit so the drain
+		// tokens are durably acked.
+		c.srv.Commit(int64(e), marks)
+		return
+	}
+	if sum == nil {
+		panic("ingest: live epoch settled without a summary token")
+	}
+	var accepted []vote.Report
+	if eps != nil {
+		if int64(len(eps.accepted)+len(eps.missing)) != eps.expected {
+			panic("ingest: epoch conservation violated (accepted + lost != expected)")
+		}
+		c.ctr.Lost.Add(int64(len(eps.missing)))
+		accepted = eps.accepted
+	}
+	vote.SortCanonical(accepted)
+	an := analysis.Analyze(accepted, c.an)
+	out := &engine.EpochResult{
+		Epoch:       int(sum.Epoch),
+		Reports:     accepted,
+		Ranking:     an.Ranking,
+		Detected:    an.Detected,
+		Verdicts:    an.Verdicts,
+		TotalFlows:  int(sum.TotalFlows),
+		FailedFlows: int(sum.FailedFlows),
+		TotalDrops:  int(sum.TotalDrops),
+	}
+	if sum.HasFailed {
+		out.FailedLinks = sum.FailedLinks
+		if out.FailedLinks == nil {
+			out.FailedLinks = []topology.LinkID{}
+		}
+	}
+	if sum.HasTruth {
+		out.Truth = make(map[int64]metrics.FlowTruth, len(sum.Truth))
+		for _, te := range sum.Truth {
+			out.Truth[te.FlowID] = metrics.FlowTruth{Culprit: te.Culprit, CrossedFailure: te.CrossedFailure}
+		}
+	}
+	c.ctr.SettledEpochs.Add(1)
+	c.ctr.DetectedLinks.Add(int64(len(out.Detected)))
+	c.ctr.Verdicts.Add(int64(len(out.Verdicts)))
+	if c.cfg.Sink != nil {
+		c.cfg.Sink(out)
+	}
+	c.srv.Commit(int64(e), marks)
+}

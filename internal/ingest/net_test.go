@@ -1,0 +1,315 @@
+package ingest
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"vigil/internal/engine"
+	"vigil/internal/metrics"
+	"vigil/internal/topology"
+	"vigil/internal/transport"
+	"vigil/internal/vote"
+)
+
+// listen returns a loopback listener for a collector under test.
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// fastTransport keeps networked tests snappy: tight polls, quick reconnect
+// backoff, fast liveness.
+func fastTransport() transport.ClientConfig {
+	return transport.ClientConfig{
+		WaitPoll:    10 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+	}
+}
+
+// waitCollector bounds a collector Wait so a wedged pipeline fails the
+// test instead of hanging it.
+func waitCollector(t *testing.T, col *NetCollector) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := col.Wait(ctx); err != nil {
+		t.Fatalf("collector never finished: %v", err)
+	}
+}
+
+// The networked extension of TestFaultFreeBitIdentical: with no faults on
+// the wire, epochs settled across a real TCP socket are bit-identical to
+// the batch engine's EpochResults — on both planes.
+func TestFaultFreeBitIdenticalNetworked(t *testing.T) {
+	for _, plane := range []engine.Plane{engine.Flow, engine.Packet} {
+		t.Run(string(plane), func(t *testing.T) {
+			topoCfg := equivTopo
+			epochs := 5
+			if plane == engine.Packet {
+				topoCfg = topology.Config{Pods: 2, ToRsPerPod: 4, T1PerPod: 3, T2: 2, HostsPerToR: 2}
+				epochs = 3
+			}
+			cfg := engine.Config{Plane: plane, Seed: 7, Parallelism: 4}
+			batch := newTestEngine(t, cfg, topoCfg, 0.02)
+			want := make([]*engine.EpochResult, epochs)
+			for i := range want {
+				want[i] = batch.RunEpoch()
+			}
+
+			eng := newTestEngine(t, cfg, topoCfg, 0.02)
+			var mu sync.Mutex
+			var got []*engine.EpochResult
+			col, err := ServeCollector(CollectorConfig{
+				Listener:    listen(t),
+				Parallelism: 4,
+				Sink: func(res *engine.EpochResult) {
+					mu.Lock()
+					got = append(got, res)
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer col.Close()
+
+			if err := RunAgent(context.Background(), AgentConfig{
+				Engine: eng, Addr: col.Addr(), Epochs: epochs, Seed: 7,
+				Transport: fastTransport(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			waitCollector(t, col)
+
+			if len(got) != epochs {
+				t.Fatalf("settled %d epochs over the wire, want %d", len(got), epochs)
+			}
+			for i, res := range got {
+				if !reflect.DeepEqual(res, want[i]) {
+					t.Fatalf("epoch %d: networked settle diverged from batch RunEpoch", i)
+				}
+			}
+		})
+	}
+}
+
+// A collector crash mid-run loses nothing: the restarted collector loads
+// the checkpoint, sessions resume and replay past their durable
+// watermarks, and every epoch settles exactly once across the two
+// incarnations.
+func TestNetCollectorCrashRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	eng := newTestEngine(t, engine.Config{Seed: 9}, soakTopo, 0.05)
+	const epochs = 6
+
+	record := func(dst *[]int, mu *sync.Mutex) func(*engine.EpochResult) {
+		return func(res *engine.EpochResult) {
+			mu.Lock()
+			*dst = append(*dst, res.Epoch)
+			mu.Unlock()
+		}
+	}
+	var mu sync.Mutex
+	var settled1, settled2 []int
+
+	col1, err := ServeCollector(CollectorConfig{
+		Listener: listen(t), CheckpointPath: path, Sink: record(&settled1, &mu),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := transport.NewProxy("127.0.0.1:0", transport.ProxyConfig{Target: col1.Addr(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	tctr := &metrics.TransportCounters{}
+	agentErr := make(chan error, 1)
+	go func() {
+		agentErr <- RunAgent(context.Background(), AgentConfig{
+			Engine: eng, Addr: proxy.Addr(), Epochs: epochs, Seed: 9,
+			Interval: 50 * time.Millisecond, Counters: tctr,
+			Transport: fastTransport(),
+		})
+	}()
+
+	// Crash the collector right after its second settle is durably
+	// checkpointed (epochs 0 and 1). The agent is paced by Interval, so the
+	// next settle is comfortably far away.
+	deadline := time.Now().Add(30 * time.Second)
+	for col1.TransportCounters().Checkpoints.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("collector never checkpointed twice")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	col1.Close()
+
+	col2, err := ServeCollector(CollectorConfig{
+		Listener: listen(t), CheckpointPath: path, Sink: record(&settled2, &mu),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+	proxy.Retarget(col2.Addr())
+
+	select {
+	case err := <-agentErr:
+		if err != nil {
+			t.Fatalf("agent failed across the restart: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("agent never finished")
+	}
+	waitCollector(t, col2)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if want := []int{0, 1}; !reflect.DeepEqual(settled1, want) {
+		t.Fatalf("incarnation 1 settled %v, want %v", settled1, want)
+	}
+	if want := []int{2, 3, 4, 5}; !reflect.DeepEqual(settled2, want) {
+		t.Fatalf("incarnation 2 settled %v, want %v", settled2, want)
+	}
+	if tctr.Resumes.Load() < 1 {
+		t.Fatal("the agent never resumed across the collector restart")
+	}
+}
+
+// The networked chaos soak: seeded drops, duplicates, reorders and
+// mid-frame cuts on the wire, plus a full partition healed mid-run. Every
+// epoch still settles exactly once, in order; conservation holds; and the
+// resume counter matches the injected cut count exactly.
+func TestNetChaosSoak(t *testing.T) {
+	eng := &countingEngine{Engine: newTestEngine(t, engine.Config{Seed: 23}, soakTopo, 0.05)}
+	const epochs = 20
+
+	var mu sync.Mutex
+	var settled []int
+	var proxy *transport.Proxy
+	var partitionOnce sync.Once
+	ictr := &metrics.IngestCounters{}
+	col, err := ServeCollector(CollectorConfig{
+		Listener:   listen(t),
+		MaxRetries: 2,
+		Counters:   ictr,
+		Sink: func(res *engine.EpochResult) {
+			mu.Lock()
+			settled = append(settled, res.Epoch)
+			mu.Unlock()
+			if res.Epoch == 5 {
+				// Sever everything mid-run and refuse reconnects for a
+				// while: a real partition, not just a blip.
+				partitionOnce.Do(func() {
+					proxy.Partition()
+					time.AfterFunc(150*time.Millisecond, proxy.Heal)
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	proxy, err = transport.NewProxy("127.0.0.1:0", transport.ProxyConfig{
+		Target: col.Addr(), Seed: 77,
+		Drop: 0.04, Dup: 0.04, Reorder: 0.04, Cut: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	tctr := &metrics.TransportCounters{}
+	tc := fastTransport()
+	tc.TokenResendEvery = 3
+	if err := RunAgent(context.Background(), AgentConfig{
+		Engine: eng, Addr: proxy.Addr(), Epochs: epochs, Seed: 23,
+		Counters: tctr, Transport: tc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCollector(t, col)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(settled) != epochs {
+		t.Fatalf("settled %d epochs, want %d (got %v)", len(settled), epochs, settled)
+	}
+	for i, e := range settled {
+		if e != i {
+			t.Fatalf("settle order %v: epoch %d settled at position %d", settled, e, i)
+		}
+	}
+	// Every resume maps to exactly one injected cut (the partition's sever
+	// is counted as a cut), and vice versa.
+	if got, want := tctr.Resumes.Load(), proxy.InjCuts.Load(); got != want {
+		t.Fatalf("Resumes = %d, want InjCuts = %d", got, want)
+	}
+	if proxy.InjCuts.Load() < 1 {
+		t.Fatal("the partition never cut a live connection")
+	}
+	// The fault mix actually fired.
+	if proxy.InjDrops.Load() == 0 || proxy.InjDups.Load() == 0 || proxy.InjReorders.Load() == 0 {
+		t.Fatalf("fault mix idle: drops %d, dups %d, reorders %d",
+			proxy.InjDrops.Load(), proxy.InjDups.Load(), proxy.InjReorders.Load())
+	}
+	// Injected duplicates arrive as stale frames and die at the watermark.
+	if col.TransportCounters().FramesDropped.Load() == 0 {
+		t.Fatal("no stale frames dropped despite injected duplicates")
+	}
+	// Wire-level drops surface as ingest gaps and are recovered end to end.
+	if ictr.Retries.Load() == 0 || ictr.Recovered.Load() == 0 {
+		t.Fatalf("drop recovery idle: retries %d, recovered %d",
+			ictr.Retries.Load(), ictr.Recovered.Load())
+	}
+	// Conservation across the whole stack: every emitted report was either
+	// accepted into its epoch or accounted as lost — nothing vanished, and
+	// nothing was double-counted.
+	if got, want := ictr.Accepted.Load()+ictr.Lost.Load(), eng.emitted.Load(); got != want {
+		t.Fatalf("conservation: Accepted+Lost = %d, want emitted = %d", got, want)
+	}
+}
+
+// RunAgent and ServeCollector reject configurations the wire protocol
+// cannot express or serve.
+func TestNetworkedValidation(t *testing.T) {
+	if err := RunAgent(context.Background(), AgentConfig{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	eng := newTestEngine(t, engine.Config{Seed: 1}, soakTopo, 0)
+	if err := RunAgent(context.Background(), AgentConfig{Engine: eng, Addr: "x", Epochs: 0}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	// Analysis options that cannot ride the handshake must be rejected up
+	// front — silently dropping them would break the bit-identity contract.
+	topo, err := topology.New(soakTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTopo, err := engine.New(engine.Config{
+		Topo: topo, Seed: 1, Detect: vote.DefaultDetectOptions(topo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAgent(context.Background(), AgentConfig{Engine: withTopo, Addr: "x", Epochs: 1}); err == nil {
+		t.Fatal("non-serializable Detect.Topo accepted")
+	}
+	if _, err := ServeCollector(CollectorConfig{}); err == nil {
+		t.Fatal("collector without a listener accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the collector's durable state: an opaque application
+// watermark (the ingest collector stores its last settled epoch there) and
+// each session's durable frame-sequence watermark. Everything else the
+// collector needs to resume mid-cycle — open epochs' reports, cycle
+// tokens, ground-truth summaries — is reconstructed by session replay:
+// agents buffer every sequenced frame until it is durably acknowledged,
+// and durable acknowledgements advance only to watermarks recorded here.
+// The checkpoint is therefore deliberately tiny and O(sessions), not
+// O(in-flight reports).
+type Checkpoint struct {
+	V        int               `json:"v"`
+	App      int64             `json:"app"`
+	Sessions map[uint64]uint64 `json:"sessions"`
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file is a fresh start,
+// not an error: it returns an empty checkpoint with App = fresh.
+func LoadCheckpoint(path string, fresh int64) (Checkpoint, error) {
+	cp := Checkpoint{V: 1, App: fresh, Sessions: map[uint64]uint64{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, nil
+	}
+	if err != nil {
+		return cp, fmt.Errorf("transport: reading checkpoint: %w", err)
+	}
+	var got Checkpoint
+	if err := json.Unmarshal(data, &got); err != nil {
+		return cp, fmt.Errorf("transport: decoding checkpoint %s: %w", path, err)
+	}
+	if got.V != 1 {
+		return cp, fmt.Errorf("transport: checkpoint %s has unknown version %d", path, got.V)
+	}
+	if got.Sessions == nil {
+		got.Sessions = map[uint64]uint64{}
+	}
+	return got, nil
+}
+
+// Save writes the checkpoint atomically: a temp file in the same directory
+// fsynced and renamed over the target, so a crash mid-write leaves the
+// previous checkpoint intact.
+func (cp Checkpoint) Save(path string) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("transport: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("transport: writing checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("transport: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("transport: committing checkpoint: %w", err)
+	}
+	return nil
+}

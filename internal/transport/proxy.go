@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vigil/internal/stats"
+)
+
+// ProxyConfig parametrizes a deterministic wire-level fault injector. The
+// proxy sits between agents and collector, parses the agent-to-collector
+// frame stream, and assigns each frame a fate drawn from a counter-based
+// substream — stats.DeriveRNG(Seed, conn<<20|frame) — so a given seed
+// yields the same partitions, cuts, drops, duplicates and reorders on
+// every run, independent of scheduling.
+type ProxyConfig struct {
+	// Target is the real collector address; retargetable at runtime for
+	// crash/restart tests.
+	Target string
+	// Seed derives every fate.
+	Seed uint64
+	// Per-frame fate probabilities, applied (in this precedence) to
+	// agent-to-collector frames: Cut kills both directions mid-frame
+	// (half the frame is forwarded first); Drop swallows a sequenced
+	// frame whole; Reorder holds a sequenced frame back one slot (the
+	// following frame overtakes it); Dup forwards a sequenced frame
+	// twice. Cuts are never applied to a connection's first frames (so a
+	// cut always lands on an established session) nor to a Bye (nothing
+	// remains to resume after a goodbye), keeping the Resumes == InjCuts
+	// invariant exact; drop/reorder/dup apply only to sequenced frames so
+	// handshakes and heartbeats always flow.
+	Drop, Dup, Reorder, Cut float64
+	// Delay, when positive, sleeps this long before forwarding roughly
+	// every 16th frame — enough to exercise timeout paths without
+	// stalling the soak.
+	Delay time.Duration
+	// MaxFrame bounds parsed frames; 0 means DefaultMaxFrame.
+	MaxFrame int
+}
+
+type proxyPair struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (p *proxyPair) kill() {
+	p.once.Do(func() {
+		p.client.Close()
+		p.server.Close()
+	})
+}
+
+// Proxy is the running fault injector.
+type Proxy struct {
+	cfg ProxyConfig
+	ln  net.Listener
+
+	target      atomic.Value // string
+	partitioned atomic.Bool
+
+	mu     sync.Mutex
+	pairs  map[*proxyPair]struct{}
+	closed bool
+
+	connIdx atomic.Uint64
+	wg      sync.WaitGroup
+
+	// Injection ledger, matched against transport counters by the chaos
+	// tests.
+	InjDrops    atomic.Int64
+	InjDups     atomic.Int64
+	InjReorders atomic.Int64
+	InjCuts     atomic.Int64
+	Forwarded   atomic.Int64
+}
+
+// NewProxy starts a fault proxy listening on addr ("127.0.0.1:0" for an
+// ephemeral test port).
+func NewProxy(addr string, cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln, pairs: make(map[*proxyPair]struct{})}
+	p.target.Store(cfg.Target)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what agents dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Retarget points subsequent connections at a new collector address (the
+// restarted collector in crash-recovery tests).
+func (p *Proxy) Retarget(target string) { p.target.Store(target) }
+
+// Partition refuses new connections and severs live ones until Heal. It
+// returns the number of live pairs cut.
+func (p *Proxy) Partition() int {
+	p.partitioned.Store(true)
+	return p.CutAll()
+}
+
+// Heal ends a partition.
+func (p *Proxy) Heal() { p.partitioned.Store(false) }
+
+// CutAll severs every live pair (counting each as an injected cut) and
+// returns how many were cut. Call it in steady state — with sessions
+// established — so each cut maps to exactly one resume.
+func (p *Proxy) CutAll() int {
+	p.mu.Lock()
+	pairs := make([]*proxyPair, 0, len(p.pairs))
+	for pr := range p.pairs {
+		pairs = append(pairs, pr)
+	}
+	p.mu.Unlock()
+	for _, pr := range pairs {
+		pr.kill()
+	}
+	p.InjCuts.Add(int64(len(pairs)))
+	return len(pairs)
+}
+
+// Live returns the number of live proxied connections.
+func (p *Proxy) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pairs)
+}
+
+// Close shuts the proxy down, severing everything (without counting the
+// severs as injected cuts).
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	pairs := make([]*proxyPair, 0, len(p.pairs))
+	for pr := range p.pairs {
+		pairs = append(pairs, pr)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pr := range pairs {
+		pr.kill()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			conn.Close()
+			continue
+		}
+		idx := p.connIdx.Add(1)
+		p.wg.Add(1)
+		go p.serve(conn, idx)
+	}
+}
+
+func (p *Proxy) serve(clientConn net.Conn, idx uint64) {
+	defer p.wg.Done()
+	serverConn, err := net.DialTimeout("tcp", p.target.Load().(string), 2*time.Second)
+	if err != nil {
+		clientConn.Close()
+		return
+	}
+	pr := &proxyPair{client: clientConn, server: serverConn}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pr.kill()
+		return
+	}
+	p.pairs[pr] = struct{}{}
+	p.mu.Unlock()
+
+	done := func() {
+		pr.kill()
+		p.mu.Lock()
+		delete(p.pairs, pr)
+		p.mu.Unlock()
+	}
+	var half sync.WaitGroup
+	half.Add(2)
+	// Collector-to-agent direction forwards verbatim: the interesting
+	// faults (loss, duplication, reordering of sequenced state) live on
+	// the agent-to-collector stream; acks and cycle-ends die with the
+	// connection when a cut fate fires, which is fault enough.
+	go func() {
+		defer half.Done()
+		io.Copy(clientConn, serverConn)
+		pr.kill()
+	}()
+	go func() {
+		defer half.Done()
+		p.pump(pr, idx)
+	}()
+	half.Wait()
+	done()
+}
+
+func sequencedType(typ byte) bool {
+	return typ == TypeReport || typ == TypeToken
+}
+
+// pump relays the agent-to-collector frame stream, applying seeded fates.
+func (p *Proxy) pump(pr *proxyPair, idx uint64) {
+	br := bufio.NewReader(pr.client)
+	var rng stats.RNG
+	var held []byte // reorder slot: one frame held back until the next
+	var frameIdx uint64
+	flushHeld := func() bool {
+		if held == nil {
+			return true
+		}
+		_, err := pr.server.Write(held)
+		held = nil
+		return err == nil
+	}
+	for {
+		typ, payload, err := ReadFrame(br, p.cfg.MaxFrame)
+		if err != nil {
+			flushHeld()
+			pr.kill()
+			return
+		}
+		frameIdx++
+		body := make([]byte, 0, 1+len(payload))
+		body = append(body, typ)
+		body = append(body, payload...)
+		framed := Frame(body)
+		rng.Derive(p.cfg.Seed, idx<<20|frameIdx)
+
+		if p.cfg.Delay > 0 && frameIdx%16 == 5 {
+			time.Sleep(p.cfg.Delay)
+		}
+		if p.cfg.Cut > 0 && frameIdx >= 2 && typ != TypeBye && rng.Bool(p.cfg.Cut) {
+			// Mid-frame cut: half the frame escapes, then the wire dies
+			// in both directions. The collector's framer must discard the
+			// torn prefix; the agent must resume and replay.
+			pr.server.Write(framed[:len(framed)/2])
+			p.InjCuts.Add(1)
+			pr.kill()
+			return
+		}
+		if sequencedType(typ) {
+			if p.cfg.Drop > 0 && rng.Bool(p.cfg.Drop) {
+				p.InjDrops.Add(1)
+				continue
+			}
+			if p.cfg.Reorder > 0 && held == nil && rng.Bool(p.cfg.Reorder) {
+				p.InjReorders.Add(1)
+				held = framed
+				continue
+			}
+		}
+		if _, err := pr.server.Write(framed); err != nil {
+			pr.kill()
+			return
+		}
+		p.Forwarded.Add(1)
+		if !flushHeld() {
+			pr.kill()
+			return
+		}
+		if sequencedType(typ) && p.cfg.Dup > 0 && rng.Bool(p.cfg.Dup) {
+			p.InjDups.Add(1)
+			if _, err := pr.server.Write(framed); err != nil {
+				pr.kill()
+				return
+			}
+		}
+	}
+}

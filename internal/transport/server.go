@@ -1,0 +1,509 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vigil/internal/metrics"
+	"vigil/internal/vote"
+)
+
+// Handler receives the decoded, deduplicated frame stream. Calls for one
+// session are serialized (the per-session processing lock covers the brief
+// overlap of an old and a new connection during a resume); calls for
+// different sessions are concurrent, so handlers that need a total order
+// funnel into a channel.
+type Handler interface {
+	// OnHello runs once per (re)connection, after the session watermark
+	// check but before any of the connection's frames.
+	OnHello(sess uint64, h Hello)
+	// OnReport delivers one non-stale report.
+	OnReport(sess uint64, r vote.Report, attempt uint8)
+	// OnToken delivers one non-stale cycle token. seq is the frame's
+	// session sequence — the durable mark a Commit may later ack.
+	OnToken(sess uint64, seq uint64, t Token)
+	// OnBye runs when the session ends cleanly.
+	OnBye(sess uint64)
+}
+
+// ServerConfig parametrizes a collector-side transport server.
+type ServerConfig struct {
+	// Listener is the accept socket; required. The server owns it.
+	Listener net.Listener
+	// Handler receives the frame stream; required.
+	Handler Handler
+	// Sessions is the number of agent sessions expected to Bye before Done
+	// fires. 0 means 1.
+	Sessions int
+	// CheckpointPath enables crash recovery: Commit writes the durable
+	// watermarks there (atomic rename), and Serve loads it so a restarted
+	// collector resumes sessions from their last durable state. Empty
+	// disables durability (acks then mean "settled", not "settled and on
+	// disk").
+	CheckpointPath string
+	// AppFresh is the application watermark of a fresh (no checkpoint
+	// file) start; the ingest collector uses -1 (nothing settled).
+	AppFresh int64
+	// ReadTimeout bounds the silence tolerated on a connection before it
+	// is presumed dead and closed (the session survives; the agent
+	// reconnects). Agents heartbeat well inside it. 0 means 15s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write. 0 means 10s.
+	WriteTimeout time.Duration
+	// Outbox bounds each connection's outbound send window: when it is
+	// full the frame is shed (acks are cumulative and cycle-ends are
+	// recovered by the token-resend path, so shedding is safe) instead of
+	// buffering without bound. 0 means 32.
+	Outbox int
+	// MaxFrame bounds frame payloads; 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Counters receives the transport's observable state; one is
+	// allocated when nil.
+	Counters *metrics.TransportCounters
+}
+
+// session is one agent's durable state at the server. It outlives any
+// individual connection.
+type session struct {
+	id uint64
+
+	// procMu serializes frame processing (watermark check + handler call)
+	// across the brief overlap of an old and a new connection.
+	procMu  sync.Mutex
+	recv    uint64 // processed watermark: highest sequenced frame handled
+	durable uint64 // durable watermark: highest frame covered by Commit
+
+	mu     sync.Mutex // guards conn/out/gen/lastCE/bye
+	conn   net.Conn
+	out    chan []byte
+	gen    int
+	lastCE []byte // framed CycleEnd, re-sent on resume and on stale tokens
+	bye    bool
+}
+
+// Server accepts resumable agent sessions and feeds their frames to a
+// Handler.
+type Server struct {
+	cfg ServerConfig
+	ctr *metrics.TransportCounters
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	app      int64
+	closed   bool
+	byes     int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve builds a server on cfg.Listener, loading the checkpoint (if
+// configured) so sessions resume from their durable watermarks, and starts
+// accepting.
+func Serve(cfg ServerConfig) (*Server, error) {
+	if cfg.Listener == nil || cfg.Handler == nil {
+		return nil, fmt.Errorf("transport: ServerConfig.Listener and Handler are required")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 15 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Outbox <= 0 {
+		cfg.Outbox = 32
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctr:      cfg.Counters,
+		ln:       cfg.Listener,
+		sessions: make(map[uint64]*session),
+		app:      cfg.AppFresh,
+		done:     make(chan struct{}),
+	}
+	if s.ctr == nil {
+		s.ctr = &metrics.TransportCounters{}
+	}
+	if cfg.CheckpointPath != "" {
+		cp, err := LoadCheckpoint(cfg.CheckpointPath, cfg.AppFresh)
+		if err != nil {
+			return nil, err
+		}
+		s.app = cp.App
+		for id, mark := range cp.Sessions {
+			s.sessions[id] = &session{id: id, recv: mark, durable: mark}
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AppState returns the application watermark loaded from the checkpoint
+// (AppFresh when none existed) — the restarted ingest collector's last
+// settled epoch.
+func (s *Server) AppState() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.app
+}
+
+// SessionIDs returns the IDs of every known session — after Serve, the
+// sessions loaded from the checkpoint; later also sessions that connected.
+func (s *Server) SessionIDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint64, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Done is closed once every expected session has said Bye.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Counters returns the live transport counters.
+func (s *Server) Counters() *metrics.TransportCounters { return s.ctr }
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// acceptLoop accepts until the listener closes. Transient accept errors
+// (EMFILE, ECONNABORTED, ...) are retried with capped exponential backoff
+// rather than killing the collector's front door.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := time.Millisecond
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.ctr.AcceptRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// sessionFor returns (creating if needed) the session record for id.
+func (s *Server) sessionFor(id uint64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = &session{id: id}
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
+// attach makes conn the session's live connection: any previous connection
+// is closed (its reader and writer unwind), a fresh bounded outbox and
+// writer start, and the handshake answer plus any pending cycle-end are
+// queued.
+func (s *Server) attach(sess *session, conn net.Conn) (gen int) {
+	sess.procMu.Lock()
+	resume := sess.recv
+	sess.procMu.Unlock()
+
+	sess.mu.Lock()
+	durable := sess.durable
+	if sess.conn != nil {
+		sess.conn.Close()
+		close(sess.out) // the old writer drains and exits
+	} else {
+		s.ctr.SessionsConnected.Add(1)
+	}
+	sess.gen++
+	gen = sess.gen
+	sess.conn = conn
+	sess.out = make(chan []byte, s.cfg.Outbox)
+	out := sess.out
+	lastCE := sess.lastCE
+	sess.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.writer(conn, out)
+
+	s.enqueue(sess, gen, Frame(AppendHelloAck(nil, HelloAck{Resume: resume, Durable: durable})))
+	if lastCE != nil {
+		// The cycle may have ended while the agent was away; the stale
+		// re-send is ignored by an agent that already saw it.
+		s.enqueue(sess, gen, lastCE)
+		s.ctr.CycleEndsSent.Add(1)
+	}
+	return gen
+}
+
+// detach clears the session's live connection if it is still generation
+// gen, closing its outbox so the writer goroutine exits.
+func (s *Server) detach(sess *session, gen int) {
+	sess.mu.Lock()
+	if sess.gen == gen && sess.conn != nil {
+		sess.conn.Close()
+		close(sess.out)
+		sess.conn = nil
+		sess.out = nil
+		s.ctr.SessionsConnected.Add(-1)
+	}
+	sess.mu.Unlock()
+}
+
+// enqueue offers a framed message to the session's current outbox (if the
+// connection generation still matches); a full outbox sheds the frame —
+// bounded memory beats unbounded buffering, and every shed frame is
+// recoverable (acks are cumulative, cycle-ends ride the token-resend
+// path, pongs are heartbeats).
+func (s *Server) enqueue(sess *session, gen int, framed []byte) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.conn == nil || (gen >= 0 && sess.gen != gen) {
+		return
+	}
+	select {
+	case sess.out <- framed:
+	default:
+		s.ctr.SendWindowDrops.Add(1)
+	}
+}
+
+// writer drains one connection's outbox onto the socket.
+func (s *Server) writer(conn net.Conn, out chan []byte) {
+	defer s.wg.Done()
+	for framed := range out {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := conn.Write(framed); err != nil {
+			conn.Close() // unwinds the reader; the agent reconnects
+			// Keep draining so enqueuers never block on a dead conn.
+			for range out {
+			}
+			return
+		}
+	}
+}
+
+// handle runs one connection: handshake, then the frame loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReader(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	typ, payload, err := ReadFrame(br, s.cfg.MaxFrame)
+	if err != nil || typ != TypeHello {
+		conn.Close()
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil || hello.Version != Version {
+		conn.Close()
+		return
+	}
+	sess := s.sessionFor(hello.Session)
+	gen := s.attach(sess, conn)
+	defer s.detach(sess, gen)
+	s.cfg.Handler.OnHello(hello.Session, hello)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		typ, payload, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TypeReport:
+			f, err := DecodeReport(payload)
+			if err != nil {
+				return
+			}
+			sess.procMu.Lock()
+			if f.Seq <= sess.recv {
+				sess.procMu.Unlock()
+				s.ctr.FramesDropped.Add(1)
+				continue
+			}
+			sess.recv = f.Seq
+			s.ctr.FramesReceived.Add(1)
+			s.cfg.Handler.OnReport(sess.id, f.R, f.Attempt)
+			sess.procMu.Unlock()
+		case TypeToken:
+			t, err := DecodeToken(payload)
+			if err != nil {
+				return
+			}
+			sess.procMu.Lock()
+			if t.Seq <= sess.recv {
+				sess.procMu.Unlock()
+				s.ctr.FramesDropped.Add(1)
+				// A re-sent token means the agent never saw the cycle-end;
+				// re-send the newest one.
+				sess.mu.Lock()
+				lastCE := sess.lastCE
+				sess.mu.Unlock()
+				if lastCE != nil {
+					s.enqueue(sess, gen, lastCE)
+					s.ctr.CycleEndsSent.Add(1)
+				}
+				continue
+			}
+			sess.recv = t.Seq
+			s.ctr.FramesReceived.Add(1)
+			s.cfg.Handler.OnToken(sess.id, t.Seq, t)
+			sess.procMu.Unlock()
+		case TypePing:
+			s.enqueue(sess, gen, Frame(AppendControl(nil, TypePong)))
+		case TypeBye:
+			s.bye(sess)
+			return
+		default:
+			// Unknown frame from a same-version client: protocol error.
+			return
+		}
+	}
+}
+
+func (s *Server) bye(sess *session) {
+	sess.mu.Lock()
+	first := !sess.bye
+	sess.bye = true
+	sess.mu.Unlock()
+	if !first {
+		return
+	}
+	s.cfg.Handler.OnBye(sess.id)
+	s.mu.Lock()
+	s.byes++
+	fire := s.byes == s.cfg.Sessions && !s.closed
+	s.mu.Unlock()
+	if fire {
+		close(s.done)
+	}
+}
+
+// SendCycleEnd records ce as the session's newest cycle-end and offers it
+// to the live connection. The record is what makes cycle-ends loss-proof:
+// it is re-sent on resume and whenever a stale token re-send signals the
+// agent missed it.
+func (s *Server) SendCycleEnd(sessID uint64, ce CycleEnd) {
+	sess := s.sessionFor(sessID)
+	framed := Frame(AppendCycleEnd(nil, ce))
+	sess.mu.Lock()
+	sess.lastCE = framed
+	sess.mu.Unlock()
+	s.enqueue(sess, -1, framed)
+	s.ctr.CycleEndsSent.Add(1)
+}
+
+// Commit advances durability: app is the new application watermark (the
+// ingest collector's last settled epoch) and marks gives, per session, the
+// frame sequence now fully reflected in settled state. The checkpoint is
+// written (atomically) BEFORE watermarks advance or acks go out, so an
+// acked frame is always recoverable: either it is reflected in the
+// checkpoint the restarted collector loads, or the agent still holds it.
+func (s *Server) Commit(app int64, marks map[uint64]uint64) error {
+	s.mu.Lock()
+	s.app = app
+	snapshot := make(map[uint64]*session, len(s.sessions))
+	for id, sess := range s.sessions {
+		snapshot[id] = sess
+	}
+	s.mu.Unlock()
+	if s.cfg.CheckpointPath != "" {
+		cp := Checkpoint{V: 1, App: app, Sessions: make(map[uint64]uint64, len(snapshot))}
+		for id, sess := range snapshot {
+			sess.mu.Lock()
+			d := sess.durable
+			sess.mu.Unlock()
+			if mark, ok := marks[id]; ok && mark > d {
+				d = mark
+			}
+			cp.Sessions[id] = d
+		}
+		if err := cp.Save(s.cfg.CheckpointPath); err != nil {
+			return err
+		}
+		s.ctr.Checkpoints.Add(1)
+		s.ctr.CheckpointUnixNano.Store(time.Now().UnixNano())
+	}
+	for id, mark := range marks {
+		sess := s.sessionFor(id)
+		sess.mu.Lock()
+		if mark > sess.durable {
+			sess.durable = mark
+		}
+		durable := sess.durable
+		sess.mu.Unlock()
+		s.enqueue(sess, -1, Frame(AppendAck(nil, Ack{Durable: durable})))
+		s.ctr.AcksSent.Add(1)
+	}
+	return nil
+}
+
+// Close shuts the listener and every connection down and waits for the
+// server's goroutines. Session state is NOT checkpointed here — durability
+// is Commit's job — so closing a server without a final Commit is exactly
+// the crash the recovery path handles.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.conn != nil {
+			sess.conn.Close()
+		}
+		sess.mu.Unlock()
+	}
+	// Closing a conn unwinds its reader, whose deferred detach closes the
+	// outbox, which lets the writer exit; the re-close loop below catches
+	// any connection that attached between the snapshot and ln.Close.
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return err
+		case <-time.After(10 * time.Millisecond):
+			s.mu.Lock()
+			for _, sess := range s.sessions {
+				sess.mu.Lock()
+				if sess.conn != nil {
+					sess.conn.Close()
+				}
+				sess.mu.Unlock()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
